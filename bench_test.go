@@ -1,0 +1,145 @@
+package stburst
+
+// One benchmark per table and figure of the paper's evaluation (§6).
+// Each benchmark regenerates the corresponding result through the shared
+// experiment harness (internal/exp) and reports it with b.Log, so
+// `go test -bench=. -benchmem` both times the experiments and prints the
+// reproduced rows. Scales are reduced from the paper's (181×48 corpus at
+// a lower article rate, shortened Fig. 8 sweep) so the full suite runs in
+// minutes; cmd/stbench exposes the full-scale runs.
+
+import (
+	"sync"
+	"testing"
+
+	"stburst/internal/exp"
+	"stburst/internal/gen"
+)
+
+var (
+	labOnce  sync.Once
+	benchLab *exp.Lab
+	labErr   error
+)
+
+// sharedLab builds one small Topix-like corpus (plus all three mined
+// pattern sets) for every corpus-based benchmark.
+func sharedLab(b *testing.B) *exp.Lab {
+	b.Helper()
+	labOnce.Do(func() {
+		benchLab, labErr = exp.NewLab(gen.TopixConfig{Seed: 1, WeeklyArticles: 3, Vocab: 2500})
+	})
+	if labErr != nil {
+		b.Fatal(labErr)
+	}
+	return benchLab
+}
+
+func BenchmarkTable1TopPatterns(b *testing.B) {
+	lab := sharedLab(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows []exp.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Table1(lab)
+	}
+	b.StopTimer()
+	b.Log("\n" + exp.FormatTable1(rows))
+}
+
+func BenchmarkFig4Timeframes(b *testing.B) {
+	lab := sharedLab(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows []exp.Fig4Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Fig4(lab)
+	}
+	b.StopTimer()
+	b.Log("\n" + exp.FormatFig4(rows))
+}
+
+func BenchmarkTable2PatternRetrieval(b *testing.B) {
+	cfg := exp.Table2Config{Streams: 40, Timeline: 80, Terms: 200, Patterns: 30}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows []exp.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Table2(cfg)
+	}
+	b.StopTimer()
+	b.Log("\n" + exp.FormatTable2(rows))
+}
+
+func BenchmarkTable3Precision(b *testing.B) {
+	lab := sharedLab(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res exp.Table3Result
+	for i := 0; i < b.N; i++ {
+		res = exp.Table3(lab, 10)
+	}
+	b.StopTimer()
+	b.Log("\n" + exp.FormatTable3(res))
+}
+
+func BenchmarkFig5RectangleDistribution(b *testing.B) {
+	lab := sharedLab(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res exp.Fig5Result
+	for i := 0; i < b.N; i++ {
+		res = exp.Fig5(lab)
+	}
+	b.StopTimer()
+	b.Log("\n" + exp.FormatFig5(res))
+}
+
+func BenchmarkFig6OpenWindows(b *testing.B) {
+	lab := sharedLab(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res exp.Fig6Result
+	for i := 0; i < b.N; i++ {
+		res = exp.Fig6(lab)
+	}
+	b.StopTimer()
+	b.Logf("\npeak open windows per term: %.2f (upper bound at last timestamp: %d)",
+		res.Peak, res.UpperBound[len(res.UpperBound)-1])
+}
+
+func BenchmarkFig7PerTimestampTime(b *testing.B) {
+	lab := sharedLab(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res exp.Fig7Result
+	for i := 0; i < b.N; i++ {
+		res = exp.Fig7(lab, 40)
+	}
+	b.StopTimer()
+	last := len(res.Timestamps) - 1
+	b.Logf("\nSTLocal %.4f ms/term vs STComb %.4f ms/term at final timestamp (%d terms sampled)",
+		res.STLocalMs[last], res.STCombMs[last], res.TermSample)
+}
+
+func BenchmarkFig8Scalability(b *testing.B) {
+	cfg := exp.Fig8Config{Sizes: []int{500, 1000, 2000}, TermCount: 2, Timeline: 120}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows []exp.Fig8Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Fig8(cfg)
+	}
+	b.StopTimer()
+	b.Log("\n" + exp.FormatFig8(rows))
+}
+
+func BenchmarkFig9WeibullCurves(b *testing.B) {
+	b.ReportAllocs()
+	var rows []exp.Fig9Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Fig9()
+	}
+	b.StopTimer()
+	b.Log("\n" + exp.FormatFig9(rows))
+}

@@ -1,0 +1,115 @@
+// Command stbench regenerates the tables and figures of the paper's
+// experimental evaluation (§6 of "On the Spatiotemporal Burstiness of
+// Terms", VLDB 2012).
+//
+// Usage:
+//
+//	stbench [-exp all|table1|table2|table3|table9|fig4|fig5|fig6|fig7|fig8|fig9]
+//	        [-full] [-seed N] [-articles N] [-vocab N]
+//
+// Every experiment is deterministic for a given seed. -full switches
+// Table 2 and Figure 8 to the paper's full-scale parameters (slow) and
+// the corpus experiments to the paper's 305k-article scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stburst/internal/exp"
+	"stburst/internal/gen"
+)
+
+func main() {
+	var (
+		which    = flag.String("exp", "all", "experiment to run: all, table1, table2, table3, table9, fig4..fig9")
+		full     = flag.Bool("full", false, "use the paper's full-scale parameters (slow)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		articles = flag.Float64("articles", 0, "mean background articles per country-week (0 = default; 35 matches the paper's 305k)")
+		vocab    = flag.Int("vocab", 0, "background vocabulary size (0 = default)")
+	)
+	flag.Parse()
+
+	cfg := gen.TopixConfig{Seed: *seed, WeeklyArticles: *articles, Vocab: *vocab}
+	if *full && cfg.WeeklyArticles == 0 {
+		cfg.WeeklyArticles = 35
+	}
+
+	needLab := false
+	for _, e := range []string{"all", "table1", "table3", "fig4", "fig5", "fig6", "fig7"} {
+		if *which == e {
+			needLab = true
+		}
+	}
+	var lab *exp.Lab
+	if needLab {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "generating Topix-like corpus (seed %d) and mining all pattern sets...\n", *seed)
+		var err error
+		lab, err = exp.NewLab(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "corpus ready: %d documents, %d streams, %d weeks (%v)\n\n",
+			lab.Col().NumDocs(), lab.Col().NumStreams(), lab.Col().Length(), time.Since(start).Round(time.Millisecond))
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "table1":
+			fmt.Println("== Table 1: Top-Scoring Bursty Source Patterns ==")
+			fmt.Println(exp.FormatTable1(exp.Table1(lab)))
+		case "table2":
+			fmt.Println("== Table 2: Spatiotemporal pattern retrieval ==")
+			c := exp.Table2Config{Seed: *seed}
+			if *full {
+				c = exp.FullTable2
+			}
+			fmt.Println(exp.FormatTable2(exp.Table2(c)))
+		case "table3":
+			fmt.Println("== Table 3: Precision in top-10 documents ==")
+			fmt.Println(exp.FormatTable3(exp.Table3(lab, 10)))
+		case "table9":
+			fmt.Println("== Table 9: Major Events List ==")
+			fmt.Println(exp.FormatTable9())
+		case "fig4":
+			fmt.Println("== Figure 4: Timeframe length of the top pattern ==")
+			fmt.Println(exp.FormatFig4(exp.Fig4(lab)))
+		case "fig5":
+			fmt.Println("== Figure 5: Bursty rectangles per term per timestamp ==")
+			fmt.Println(exp.FormatFig5(exp.Fig5(lab)))
+		case "fig6":
+			fmt.Println("== Figure 6: Open spatiotemporal windows ==")
+			fmt.Println(exp.FormatFig6(exp.Fig6(lab)))
+		case "fig7":
+			fmt.Println("== Figure 7: Running time per timestamp ==")
+			fmt.Println(exp.FormatFig7(exp.Fig7(lab, 150)))
+		case "fig8":
+			fmt.Println("== Figure 8: Running time vs number of streams ==")
+			c := exp.Fig8Config{Seed: *seed}
+			if *full {
+				c.Sizes = exp.FullFig8Sizes
+			}
+			fmt.Println(exp.FormatFig8(exp.Fig8(c)))
+		case "fig9":
+			fmt.Println("== Figure 9: Weibull PDF envelopes ==")
+			fmt.Println(exp.FormatFig9(exp.Fig9()))
+		default:
+			fmt.Fprintf(os.Stderr, "stbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "[%s finished in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *which == "all" {
+		for _, name := range []string{"table9", "table1", "fig4", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9"} {
+			run(name)
+		}
+		return
+	}
+	run(*which)
+}

@@ -1,0 +1,85 @@
+// Command stmine mines spatiotemporal burstiness patterns from a JSONL
+// corpus produced by stgen (-kind topix).
+//
+// Usage:
+//
+//	stgen -kind topix > corpus.jsonl
+//	stmine -term earthquake -method stlocal < corpus.jsonl
+//	stmine -term fujimori   -method stcomb  -k 5 < corpus.jsonl
+//
+// Streams are projected onto the 2-D plane with multidimensional scaling
+// over their pairwise geographic distances, as in §6.1 of the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stburst/internal/core"
+	"stburst/internal/corpusio"
+	"stburst/internal/stream"
+)
+
+func main() {
+	var (
+		term   = flag.String("term", "", "term to mine (required)")
+		method = flag.String("method", "stlocal", "miner: stlocal or stcomb")
+		k      = flag.Int("k", 5, "number of patterns to print")
+	)
+	flag.Parse()
+	if *term == "" {
+		fmt.Fprintln(os.Stderr, "stmine: -term is required")
+		os.Exit(2)
+	}
+
+	col, _, err := corpusio.Load(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmine:", err)
+		os.Exit(1)
+	}
+	id, ok := col.Dict().Lookup(*term)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "stmine: term %q not in corpus\n", *term)
+		os.Exit(1)
+	}
+	surface := col.Surface(id)
+	switch *method {
+	case "stlocal":
+		ws, err := core.MineLocal(surface, col.Points(), core.STLocalOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmine:", err)
+			os.Exit(1)
+		}
+		if len(ws) > *k {
+			ws = ws[:*k]
+		}
+		for i, w := range ws {
+			fmt.Printf("#%d  w-score %.3f  weeks [%d,%d]  region %v  %d streams: %s\n",
+				i+1, w.Score, w.Start, w.End, w.Rect, len(w.Streams), names(col, w.Streams, 6))
+		}
+	case "stcomb":
+		ps := core.STComb(surface, core.STCombOptions{MaxPatterns: *k})
+		for i, p := range ps {
+			fmt.Printf("#%d  score %.3f  weeks [%d,%d]  %d streams: %s\n",
+				i+1, p.Score, p.Start, p.End, len(p.Streams), names(col, p.Streams, 6))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "stmine: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+}
+
+func names(col *stream.Collection, streams []int, max int) string {
+	out := ""
+	for i, x := range streams {
+		if i == max {
+			return out + ", ..."
+		}
+		if i > 0 {
+			out += ", "
+		}
+		out += col.Stream(x).Name
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+// Command stsearch answers bursty-document queries over a JSONL corpus
+// produced by stgen: it builds one of the three search engines of the
+// paper (§5–6.3) and prints the top-k documents for the query.
+//
+// Usage:
+//
+//	stgen -kind topix > corpus.jsonl
+//	stsearch -engine stlocal -q earthquake -k 10 < corpus.jsonl
+//	stsearch -engine stcomb  -q "air france" < corpus.jsonl
+//	stsearch -engine tb      -q fujimori < corpus.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stburst/internal/core"
+	"stburst/internal/corpusio"
+	"stburst/internal/search"
+)
+
+func main() {
+	var (
+		engineKind = flag.String("engine", "stlocal", "engine: stlocal, stcomb or tb")
+		query      = flag.String("q", "", "query terms (required)")
+		k          = flag.Int("k", 10, "number of documents to retrieve")
+	)
+	flag.Parse()
+	if *query == "" {
+		fmt.Fprintln(os.Stderr, "stsearch: -q is required")
+		os.Exit(2)
+	}
+
+	col, labels, err := corpusio.Load(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stsearch:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "corpus: %d documents, %d streams, %d weeks\n",
+		col.NumDocs(), col.NumStreams(), col.Length())
+
+	start := time.Now()
+	var eng *search.Engine
+	switch *engineKind {
+	case "stlocal":
+		eng = search.Build(col, search.WindowBurstiness(search.MineWindows(col, core.STLocalOptions{})))
+	case "stcomb":
+		eng = search.Build(col, search.CombBurstiness(search.MineCombPatterns(col, core.STCombOptions{})))
+	case "tb":
+		eng = search.Build(col, search.TemporalBurstiness(search.MineTemporal(col, nil)))
+	default:
+		fmt.Fprintf(os.Stderr, "stsearch: unknown engine %q\n", *engineKind)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "%s engine built in %v\n", *engineKind, time.Since(start).Round(time.Millisecond))
+
+	rs := eng.Query(*query, *k)
+	if len(rs) == 0 {
+		fmt.Println("no bursty documents found for the query")
+		return
+	}
+	for i, r := range rs {
+		d := col.Doc(r.Doc)
+		label := ""
+		if labels != nil && labels[r.Doc] != 0 {
+			label = fmt.Sprintf("  [event %d]", labels[r.Doc])
+		}
+		fmt.Printf("%2d. doc %-7d %-22s week %-3d score %.3f%s\n",
+			i+1, r.Doc, col.Stream(d.Stream).Name, d.Time, r.Score, label)
+	}
+}

@@ -1,0 +1,41 @@
+// Package stburst is a Go implementation of the spatiotemporal term
+// burstiness framework of Lappas, Vieira, Gunopulos and Tsotras,
+// "On the Spatiotemporal Burstiness of Terms", PVLDB 5(9), 2012.
+//
+// Given a set of document streams fixed at geographic locations, the
+// package simultaneously tracks when and where a term's frequency is
+// unusually high, and mines two kinds of spatiotemporal patterns:
+//
+//   - Combinatorial patterns (STComb): arbitrary sets of streams that
+//     were simultaneously bursty over a common temporal interval, found
+//     as maximum-weight cliques on the intersection graph of per-stream
+//     bursty intervals.
+//
+//   - Regional patterns (STLocal): axis-oriented rectangles on the map
+//     together with the maximal timeframes over which the region was
+//     bursty, maintained online as snapshots arrive.
+//
+// The mined patterns power a bursty-document search engine: given a
+// query, it retrieves documents that discuss influential events with a
+// strong spatiotemporal impact, scoring each document by per-term
+// relevance × burstiness and answering top-k queries with the Threshold
+// Algorithm over an inverted index.
+//
+// # Quick start
+//
+//	streams := []stburst.StreamInfo{
+//	    {Name: "tokyo", Location: stburst.Point{X: 139.7, Y: 35.7}},
+//	    {Name: "lima", Location: stburst.Point{X: -77.0, Y: -12.0}},
+//	}
+//	c := stburst.NewCollection(streams, 52) // 52 weekly timestamps
+//	c.AddText(0, 17, "earthquake strikes near the coast ...")
+//	// ... add more documents ...
+//
+//	patterns := c.RegionalPatterns("earthquake", nil)
+//	engine := stburst.NewRegionalEngine(c, nil)
+//	hits := engine.Search("earthquake", 10)
+//
+// See the examples directory for runnable end-to-end programs, DESIGN.md
+// for the system inventory, and EXPERIMENTS.md for the reproduction of
+// every table and figure in the paper's evaluation.
+package stburst

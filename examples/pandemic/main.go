@@ -1,0 +1,67 @@
+// Pandemic: the paper's motivating combinatorial scenario (§1) — a
+// large-scale pandemic affects countries across the globe, with no
+// spatial locality. STComb's clique-based patterns capture the arbitrary
+// set of affected streams, while the regional miner can only offer
+// rectangles; the example contrasts the two on the same data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"stburst"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// 40 countries scattered over the map; the outbreak hits 10 of them
+	// chosen arbitrarily (no geographic structure), weeks 12-18.
+	streams := make([]stburst.StreamInfo, 40)
+	for i := range streams {
+		streams[i] = stburst.StreamInfo{
+			Name:     fmt.Sprintf("country-%02d", i),
+			Location: stburst.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+		}
+	}
+	affected := rng.Perm(40)[:10]
+
+	c := stburst.NewCollection(streams, 30)
+	for w := 0; w < 30; w++ {
+		for s := range streams {
+			if _, err := c.AddTokens(s, w, []string{"health", "ministry", "report"}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	for w := 12; w <= 18; w++ {
+		for _, s := range affected {
+			n := 2 + rng.Intn(3)
+			for i := 0; i < n; i++ {
+				if _, err := c.AddTokens(s, w, []string{"influenza", "outbreak", "influenza", "cases"}); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	fmt.Printf("outbreak injected into countries %v, weeks 12-18\n\n", affected)
+
+	comb := c.CombinatorialPatterns("influenza", nil)
+	if len(comb) == 0 {
+		log.Fatal("no combinatorial patterns found")
+	}
+	top := comb[0]
+	fmt.Printf("STComb top pattern: weeks [%d,%d], %d countries %v\n",
+		top.Start, top.End, len(top.Streams), top.Streams)
+
+	reg := c.RegionalPatterns("influenza", nil)
+	if best, ok := stburst.Best(reg); ok {
+		fmt.Printf("STLocal top window: weeks [%d,%d], %d countries inside its rectangle\n",
+			best.Start, best.End, len(best.Streams))
+	}
+	fmt.Println("\nthe clique recovers the arbitrary affected set; the rectangle")
+	fmt.Println("necessarily sweeps in unaffected countries lying between them —")
+	fmt.Println("exactly the contrast Table 1 of the paper shows for global events")
+}

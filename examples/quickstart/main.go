@@ -1,0 +1,58 @@
+// Quickstart: build a tiny spatiotemporal collection, mine both kinds of
+// burstiness patterns for a term, and run a bursty-document search.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stburst"
+)
+
+func main() {
+	// Three news streams: two nearby Andean capitals and Tokyo.
+	streams := []stburst.StreamInfo{
+		{Name: "lima", Location: stburst.Point{X: 0, Y: 0}},
+		{Name: "quito", Location: stburst.Point{X: 3, Y: 2}},
+		{Name: "tokyo", Location: stburst.Point{X: 95, Y: 80}},
+	}
+	c := stburst.NewCollection(streams, 12) // 12 weekly timestamps
+
+	add := func(s, week int, text string) {
+		if _, err := c.AddText(s, week, text); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Steady background coverage everywhere.
+	for w := 0; w < 12; w++ {
+		add(0, w, "markets open steady amid calm trading week")
+		add(1, w, "football results and weather outlook")
+		add(2, w, "technology exports rise in quarterly report")
+	}
+	// A localized earthquake story: heavy coverage in Lima and Quito
+	// during weeks 5-7, nothing in Tokyo.
+	for w := 5; w <= 7; w++ {
+		for i := 0; i < 4; i++ {
+			add(0, w, "earthquake shakes the coast, rescue teams respond to earthquake damage")
+			add(1, w, "earthquake tremors felt across the border region")
+		}
+	}
+
+	fmt.Println("== regional patterns (STLocal) for \"earthquake\" ==")
+	for _, p := range c.RegionalPatterns("earthquake", nil) {
+		fmt.Printf("  weeks [%d,%d]  w-score %.2f  region %v  streams %v\n",
+			p.Start, p.End, p.Score, p.Rect, p.Streams)
+	}
+
+	fmt.Println("== combinatorial patterns (STComb) for \"earthquake\" ==")
+	for _, p := range c.CombinatorialPatterns("earthquake", nil) {
+		fmt.Printf("  weeks [%d,%d]  score %.2f  streams %v\n", p.Start, p.End, p.Score, p.Streams)
+	}
+
+	fmt.Println("== bursty-document search ==")
+	engine := stburst.NewRegionalEngine(c, nil)
+	for _, h := range engine.Search("earthquake rescue", 5) {
+		fmt.Printf("  doc %d from %s at week %d (score %.2f)\n",
+			h.Doc.ID, h.Stream, h.Doc.Time, h.Score)
+	}
+}

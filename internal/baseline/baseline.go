@@ -1,0 +1,177 @@
+// Package baseline implements Base, the comparison method of §6.2.2 of
+// the paper: per-stream burstiness scores are binarized, short interior
+// zero-gaps are filled, and the resulting per-stream bursty intervals are
+// merged across streams whenever their Jaccard overlap reaches δ.
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+
+	"stburst/internal/expect"
+)
+
+// Pattern is one merged spatiotemporal pattern reported by Base: a
+// timeframe and the set of streams whose intervals merged into it.
+type Pattern struct {
+	Streams []int // ascending stream indices
+	Start   int   // inclusive
+	End     int   // inclusive
+}
+
+// Base is the baseline miner. The paper tunes both parameters "to yield
+// the best results"; see internal/exp for the tuning used in Table 2.
+type Base struct {
+	// L fills any interior run of zeros strictly shorter than L with
+	// ones before interval extraction. Zero disables gap filling.
+	L int
+	// Delta is the Jaccard threshold for merging an interval into an
+	// existing candidate.
+	Delta float64
+	// Baseline supplies E_x[i][t]; nil uses the running mean.
+	Baseline expect.Factory
+}
+
+// Mine extracts patterns from a term's frequency surface. The paper
+// processes streams "given a random order"; rng supplies that order and
+// must be non-nil.
+func (b Base) Mine(surface [][]float64, rng *rand.Rand) []Pattern {
+	if len(surface) == 0 {
+		return nil
+	}
+	factory := b.Baseline
+	if factory == nil {
+		factory = expect.NewRunningMean()
+	}
+	weights := expect.WeightSurface(surface, factory)
+
+	order := rng.Perm(len(surface))
+	type cand struct {
+		streams map[int]struct{}
+		start   int
+		end     int
+	}
+	var cands []*cand
+	for _, x := range order {
+		for _, iv := range intervalsOf(weights[x], b.L) {
+			merged := false
+			for _, c := range cands {
+				if jaccard1D(c.start, c.end, iv[0], iv[1]) >= b.Delta {
+					// Merge: the intersection replaces the candidate.
+					if iv[0] > c.start {
+						c.start = iv[0]
+					}
+					if iv[1] < c.end {
+						c.end = iv[1]
+					}
+					c.streams[x] = struct{}{}
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				cands = append(cands, &cand{
+					streams: map[int]struct{}{x: {}},
+					start:   iv[0],
+					end:     iv[1],
+				})
+			}
+		}
+	}
+	out := make([]Pattern, 0, len(cands))
+	for _, c := range cands {
+		streams := make([]int, 0, len(c.streams))
+		for x := range c.streams {
+			streams = append(streams, x)
+		}
+		sort.Ints(streams)
+		out = append(out, Pattern{Streams: streams, Start: c.start, End: c.end})
+	}
+	// Largest stream sets first: the "top" Base pattern.
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Streams) != len(out[j].Streams) {
+			return len(out[i].Streams) > len(out[j].Streams)
+		}
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].End < out[j].End
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// intervalsOf binarizes one stream's weights (positive → 1), fills
+// interior zero-runs shorter than l, and returns the inclusive [start,
+// end] index pairs of the remaining one-runs.
+func intervalsOf(weights []float64, l int) [][2]int {
+	n := len(weights)
+	bits := make([]bool, n)
+	for i, w := range weights {
+		bits[i] = w > 0
+	}
+	if l > 0 {
+		// Fill interior gaps: zero-runs shorter than l that are neither a
+		// prefix nor a suffix of the sequence.
+		i := 0
+		for i < n {
+			if bits[i] {
+				i++
+				continue
+			}
+			j := i
+			for j < n && !bits[j] {
+				j++
+			}
+			if i > 0 && j < n && j-i < l {
+				for k := i; k < j; k++ {
+					bits[k] = true
+				}
+			}
+			i = j
+		}
+	}
+	var out [][2]int
+	for i := 0; i < n; {
+		if !bits[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < n && bits[j] {
+			j++
+		}
+		out = append(out, [2]int{i, j - 1})
+		i = j
+	}
+	return out
+}
+
+// jaccard1D returns the Jaccard overlap of two inclusive integer
+// intervals.
+func jaccard1D(a1, a2, b1, b2 int) float64 {
+	il := a1
+	if b1 > il {
+		il = b1
+	}
+	ir := a2
+	if b2 < ir {
+		ir = b2
+	}
+	inter := ir - il + 1
+	if inter <= 0 {
+		return 0
+	}
+	ul := a1
+	if b1 < ul {
+		ul = b1
+	}
+	ur := a2
+	if b2 > ur {
+		ur = b2
+	}
+	union := ur - ul + 1
+	return float64(inter) / float64(union)
+}

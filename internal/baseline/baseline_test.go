@@ -1,0 +1,141 @@
+package baseline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestIntervalsOfNoFill(t *testing.T) {
+	w := []float64{-1, 2, 3, -1, -1, 4, -1}
+	got := intervalsOf(w, 0)
+	want := [][2]int{{1, 2}, {5, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestIntervalsOfGapFill(t *testing.T) {
+	w := []float64{1, -1, 1, -1, -1, -1, 1}
+	// l=2: the single-zero gap is filled, the triple-zero gap is not.
+	got := intervalsOf(w, 2)
+	want := [][2]int{{0, 2}, {6, 6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestIntervalsOfEdgesNotFilled(t *testing.T) {
+	// Leading/trailing zero runs are never filled regardless of length.
+	w := []float64{-1, 1, 1, -1}
+	got := intervalsOf(w, 10)
+	want := [][2]int{{1, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestIntervalsOfAllPositive(t *testing.T) {
+	got := intervalsOf([]float64{1, 1, 1}, 0)
+	want := [][2]int{{0, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestJaccard1D(t *testing.T) {
+	cases := []struct {
+		a1, a2, b1, b2 int
+		want           float64
+	}{
+		{0, 4, 0, 4, 1},
+		{0, 4, 5, 9, 0},
+		{0, 4, 2, 6, 3.0 / 7.0},
+		{0, 0, 0, 0, 1},
+	}
+	for _, tc := range cases {
+		if got := jaccard1D(tc.a1, tc.a2, tc.b1, tc.b2); got != tc.want {
+			t.Errorf("jaccard1D(%d,%d,%d,%d) = %v, want %v",
+				tc.a1, tc.a2, tc.b1, tc.b2, got, tc.want)
+		}
+	}
+}
+
+func TestMineEmpty(t *testing.T) {
+	b := Base{L: 2, Delta: 0.5}
+	if got := b.Mine(nil, rand.New(rand.NewSource(1))); got != nil {
+		t.Fatalf("empty surface: got %v", got)
+	}
+}
+
+func TestMineMergesSimilarIntervals(t *testing.T) {
+	// Two streams bursting over nearly identical timeframes must merge
+	// into one pattern covering both streams.
+	surface := [][]float64{
+		{1, 1, 9, 9, 9, 1, 1, 1},
+		{1, 1, 1, 9, 9, 9, 1, 1},
+		{1, 1, 1, 1, 1, 1, 1, 1},
+	}
+	b := Base{L: 1, Delta: 0.4}
+	pats := b.Mine(surface, rand.New(rand.NewSource(2)))
+	if len(pats) == 0 {
+		t.Fatal("no patterns")
+	}
+	top := pats[0]
+	if len(top.Streams) != 2 {
+		t.Fatalf("top pattern streams %v, want both bursting streams", top.Streams)
+	}
+	if top.Streams[0] != 0 || top.Streams[1] != 1 {
+		t.Fatalf("streams %v, want [0 1]", top.Streams)
+	}
+	// Merged timeframe is the intersection of the two bursts.
+	if top.Start > top.End {
+		t.Fatalf("inverted timeframe %+v", top)
+	}
+}
+
+func TestMineKeepsDistantBurstsSeparate(t *testing.T) {
+	surface := [][]float64{
+		{1, 9, 9, 1, 1, 1, 1, 1, 1, 1},
+		{1, 1, 1, 1, 1, 1, 1, 9, 9, 1},
+	}
+	b := Base{L: 1, Delta: 0.5}
+	pats := b.Mine(surface, rand.New(rand.NewSource(3)))
+	if len(pats) != 2 {
+		t.Fatalf("got %d patterns, want 2: %+v", len(pats), pats)
+	}
+	for _, p := range pats {
+		if len(p.Streams) != 1 {
+			t.Fatalf("patterns should not merge: %+v", pats)
+		}
+	}
+}
+
+func TestMineDeterministicGivenSeed(t *testing.T) {
+	surface := [][]float64{
+		{1, 8, 8, 1, 1, 1},
+		{1, 1, 8, 8, 1, 1},
+		{1, 1, 1, 8, 8, 1},
+	}
+	b := Base{L: 1, Delta: 0.3}
+	a := b.Mine(surface, rand.New(rand.NewSource(7)))
+	c := b.Mine(surface, rand.New(rand.NewSource(7)))
+	if !reflect.DeepEqual(a, c) {
+		t.Fatalf("same seed gave different results: %+v vs %+v", a, c)
+	}
+}
+
+func TestMineSortedByStreamCount(t *testing.T) {
+	surface := [][]float64{
+		{1, 9, 9, 1, 1, 1, 1, 1},
+		{1, 9, 9, 1, 1, 1, 1, 1},
+		{1, 1, 1, 1, 1, 9, 1, 1},
+	}
+	b := Base{L: 1, Delta: 0.5}
+	pats := b.Mine(surface, rand.New(rand.NewSource(4)))
+	for i := 1; i < len(pats); i++ {
+		if len(pats[i].Streams) > len(pats[i-1].Streams) {
+			t.Fatalf("patterns not sorted by stream count: %+v", pats)
+		}
+	}
+}

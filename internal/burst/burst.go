@@ -1,0 +1,218 @@
+// Package burst extracts bursty temporal intervals from a single term's
+// frequency series. It reimplements the discrepancy-based framework of the
+// authors' earlier work (Lappas et al., "On burstiness-aware search for
+// document sequences", KDD 2009 — reference [14] of the VLDB'12 paper),
+// which STComb uses to obtain, in linear time, the set of non-overlapping
+// bursty intervals per stream, and additionally provides Kleinberg's
+// two-state burst automaton (KDD 2002 — reference [13]) as an alternative
+// detector: §3 notes the methodology is compatible with any framework that
+// reports non-overlapping bursty intervals.
+package burst
+
+import (
+	"math"
+
+	"stburst/internal/maxseq"
+)
+
+// Interval is a bursty temporal interval [Start, End] (inclusive
+// timestamps) with its burstiness score.
+type Interval struct {
+	Start int
+	End   int
+	Score float64
+}
+
+// Detector extracts non-overlapping bursty intervals from a frequency
+// series. Implementations must return intervals sorted by Start and
+// pairwise disjoint.
+type Detector interface {
+	Detect(series []float64) []Interval
+}
+
+// Temporal computes B_T(I) of Eq. 1: the discrepancy-normalized temporal
+// burstiness of the inclusive interval [l, r] of the series. The result is
+// in [-1, 1], and in [0, 1] for the maximal intervals the detector
+// reports. It returns 0 when the series has no mass.
+func Temporal(series []float64, l, r int) float64 {
+	var total, part float64
+	for i, y := range series {
+		total += y
+		if i >= l && i <= r {
+			part += y
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return part/total - float64(r-l+1)/float64(len(series))
+}
+
+// Discrepancy is the KDD'09-style detector. The burstiness of an interval
+// I is B_T(I) = Σ_{i∈I} y_i/total − |I|/|Y| (Eq. 1), so assigning each
+// timestamp the weight y_i/total − 1/|Y| makes every interval's weight sum
+// equal its burstiness; the non-overlapping maximal bursty intervals are
+// then exactly the Ruzzo–Tompa maximal segments, found in linear time.
+type Discrepancy struct {
+	// MinScore drops intervals whose burstiness is at or below this
+	// threshold. The zero value keeps every positive-burstiness interval.
+	MinScore float64
+	// MinMass drops series whose total frequency is below this value: a
+	// term observed once or twice in a stream carries no burst structure
+	// (its single observation trivially scores B_T ≈ 1), yet such
+	// near-empty streams would otherwise dominate cliques. The zero
+	// value keeps every non-empty series.
+	MinMass float64
+}
+
+// Detect implements Detector.
+func (d Discrepancy) Detect(series []float64) []Interval {
+	var total float64
+	for _, y := range series {
+		total += y
+	}
+	if total <= 0 || len(series) == 0 || total < d.MinMass {
+		return nil
+	}
+	base := 1 / float64(len(series))
+	weights := make([]float64, len(series))
+	for i, y := range series {
+		weights[i] = y/total - base
+	}
+	segs := maxseq.Maximals(weights)
+	out := make([]Interval, 0, len(segs))
+	for _, s := range segs {
+		if s.Score > d.MinScore {
+			out = append(out, Interval{Start: s.Start, End: s.End - 1, Score: s.Score})
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Kleinberg is the two-state batch burst automaton of Kleinberg (KDD'02).
+// The series value at timestamp i is interpreted as the number of relevant
+// events r_i out of a per-timestamp total d_i; state q1 emits at rate
+// S·p0 where p0 is the global rate, and entering the burst state costs
+// Gamma·ln(L). The optimal state sequence is found by Viterbi decoding and
+// every maximal run of the burst state becomes an interval whose score is
+// the total emission-cost saving of q1 over q0 across the run.
+type Kleinberg struct {
+	// S is the rate multiplier of the burst state; values <= 1 are
+	// replaced by the customary default 2.
+	S float64
+	// Gamma scales the cost of entering the burst state; values <= 0 are
+	// replaced by the customary default 1.
+	Gamma float64
+	// Totals optionally supplies d_i per timestamp. When nil, every
+	// timestamp uses the same total Σ_i y_i, which reduces the model to a
+	// relative-rate automaton over the series' own mass.
+	Totals []float64
+}
+
+// Detect implements Detector.
+func (k Kleinberg) Detect(series []float64) []Interval {
+	n := len(series)
+	if n == 0 {
+		return nil
+	}
+	s := k.S
+	if s <= 1 {
+		s = 2
+	}
+	gamma := k.Gamma
+	if gamma <= 0 {
+		gamma = 1
+	}
+	var sumR, sumD float64
+	for i, y := range series {
+		sumR += y
+		if k.Totals != nil {
+			sumD += k.Totals[i]
+		}
+	}
+	if sumR <= 0 {
+		return nil
+	}
+	if k.Totals == nil {
+		sumD = sumR * float64(n)
+	}
+	p0 := sumR / sumD
+	p1 := math.Min(p0*s, 0.999999)
+	if p1 <= p0 {
+		return nil // rates saturated; no burst state distinguishable
+	}
+	enterCost := gamma * math.Log(float64(n))
+
+	// cost(q, i): negative log-likelihood of emitting r_i of d_i at the
+	// state's rate (binomial coefficient omitted — identical across
+	// states, so it cancels in the comparison).
+	cost := func(p, r, d float64) float64 {
+		return -(r*math.Log(p) + (d-r)*math.Log(1-p))
+	}
+	di := func(i int) float64 {
+		if k.Totals != nil {
+			return math.Max(k.Totals[i], series[i])
+		}
+		return sumR
+	}
+
+	const inf = math.MaxFloat64
+	// Viterbi over states {0, 1}.
+	type back struct{ prev0 bool }
+	c0, c1 := 0.0, enterCost
+	trace := make([][2]back, n)
+	for i := 0; i < n; i++ {
+		e0 := cost(p0, series[i], di(i))
+		e1 := cost(p1, series[i], di(i))
+		// Into state 0: from 0 (free) or from 1 (free).
+		n0, n1 := inf, inf
+		var b0, b1 back
+		if c0 <= c1 {
+			n0, b0 = c0+e0, back{prev0: true}
+		} else {
+			n0, b0 = c1+e0, back{prev0: false}
+		}
+		// Into state 1: from 1 (free) or from 0 (pay enterCost).
+		if c1 <= c0+enterCost {
+			n1, b1 = c1+e1, back{prev0: false}
+		} else {
+			n1, b1 = c0+enterCost+e1, back{prev0: true}
+		}
+		c0, c1 = n0, n1
+		trace[i] = [2]back{b0, b1}
+	}
+	// Backtrack from the cheaper final state.
+	states := make([]bool, n) // true = burst state
+	cur := c1 < c0
+	for i := n - 1; i >= 0; i-- {
+		states[i] = cur
+		if cur {
+			cur = !trace[i][1].prev0
+		} else {
+			cur = !trace[i][0].prev0
+		}
+	}
+	// Runs of the burst state become intervals scored by the emission
+	// saving of q1 over q0.
+	var out []Interval
+	for i := 0; i < n; {
+		if !states[i] {
+			i++
+			continue
+		}
+		j := i
+		var score float64
+		for j < n && states[j] {
+			score += cost(p0, series[j], di(j)) - cost(p1, series[j], di(j))
+			j++
+		}
+		if score > 0 {
+			out = append(out, Interval{Start: i, End: j - 1, Score: score})
+		}
+		i = j
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package burst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTemporalBounds(t *testing.T) {
+	series := []float64{0, 0, 10, 10, 0}
+	// Whole series: part == total, |I| == |Y| → B_T = 0.
+	if got := Temporal(series, 0, 4); math.Abs(got) > 1e-12 {
+		t.Fatalf("whole-series burstiness = %v, want 0", got)
+	}
+	// The burst core.
+	got := Temporal(series, 2, 3)
+	want := 1.0 - 2.0/5.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("B_T = %v, want %v", got, want)
+	}
+	// Empty-mass series.
+	if got := Temporal([]float64{0, 0}, 0, 1); got != 0 {
+		t.Fatalf("zero-mass series B_T = %v, want 0", got)
+	}
+}
+
+// Property (from §3 of the paper): B_T(I) of any interval of a
+// non-negative series lies in [-1, 1], and the detector's reported
+// intervals score in (0, 1].
+func TestTemporalRange(t *testing.T) {
+	f := func(raw []uint8, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		series := make([]float64, len(raw))
+		for i, v := range raw {
+			series[i] = float64(v)
+		}
+		l := int(a) % len(series)
+		r := l + int(b)%(len(series)-l)
+		bt := Temporal(series, l, r)
+		return bt >= -1-1e-12 && bt <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscrepancyEmptyAndFlat(t *testing.T) {
+	d := Discrepancy{}
+	if got := d.Detect(nil); got != nil {
+		t.Fatalf("nil series: got %v", got)
+	}
+	if got := d.Detect([]float64{0, 0, 0}); got != nil {
+		t.Fatalf("zero series: got %v", got)
+	}
+	// A perfectly flat positive series has zero discrepancy everywhere.
+	if got := d.Detect([]float64{3, 3, 3, 3}); got != nil {
+		t.Fatalf("flat series should have no bursty intervals, got %v", got)
+	}
+}
+
+func TestDiscrepancySingleBurst(t *testing.T) {
+	series := []float64{1, 1, 1, 20, 22, 1, 1, 1}
+	got := Discrepancy{}.Detect(series)
+	if len(got) != 1 {
+		t.Fatalf("got %d intervals (%v), want 1", len(got), got)
+	}
+	iv := got[0]
+	if iv.Start != 3 || iv.End != 4 {
+		t.Fatalf("interval [%d,%d], want [3,4]", iv.Start, iv.End)
+	}
+	wantScore := Temporal(series, 3, 4)
+	if math.Abs(iv.Score-wantScore) > 1e-12 {
+		t.Fatalf("score %v, want B_T = %v", iv.Score, wantScore)
+	}
+	if iv.Score <= 0 || iv.Score > 1 {
+		t.Fatalf("score %v outside (0,1]", iv.Score)
+	}
+}
+
+func TestDiscrepancyTwoBursts(t *testing.T) {
+	series := []float64{9, 9, 0, 0, 0, 0, 9, 9}
+	got := Discrepancy{}.Detect(series)
+	if len(got) != 2 {
+		t.Fatalf("got %v, want 2 intervals", got)
+	}
+	if got[0].Start != 0 || got[0].End != 1 || got[1].Start != 6 || got[1].End != 7 {
+		t.Fatalf("intervals %v, want [0,1] and [6,7]", got)
+	}
+}
+
+func TestDiscrepancyMinScore(t *testing.T) {
+	series := []float64{1, 1, 1, 20, 22, 1, 1, 1}
+	if got := (Discrepancy{MinScore: 0.99}).Detect(series); got != nil {
+		t.Fatalf("high threshold should suppress all intervals, got %v", got)
+	}
+}
+
+// Property: detector output is sorted, disjoint, scores equal B_T, and the
+// intervals stay within the series bounds.
+func TestDiscrepancyInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + rng.Intn(50)
+		series := make([]float64, n)
+		for i := range series {
+			if rng.Intn(3) == 0 {
+				series[i] = float64(rng.Intn(30))
+			}
+		}
+		ivs := Discrepancy{}.Detect(series)
+		prevEnd := -1
+		for _, iv := range ivs {
+			if iv.Start < 0 || iv.End >= n || iv.Start > iv.End {
+				t.Fatalf("series %v: bad interval %+v", series, iv)
+			}
+			if iv.Start <= prevEnd {
+				t.Fatalf("series %v: overlapping/unsorted intervals %v", series, ivs)
+			}
+			prevEnd = iv.End
+			want := Temporal(series, iv.Start, iv.End)
+			if math.Abs(iv.Score-want) > 1e-9 {
+				t.Fatalf("series %v: score %v != B_T %v", series, iv.Score, want)
+			}
+			if iv.Score <= 0 || iv.Score > 1+1e-12 {
+				t.Fatalf("series %v: score %v outside (0,1]", series, iv.Score)
+			}
+		}
+	}
+}
+
+func TestKleinbergEmptyAndFlat(t *testing.T) {
+	k := Kleinberg{}
+	if got := k.Detect(nil); got != nil {
+		t.Fatalf("nil series: got %v", got)
+	}
+	if got := k.Detect([]float64{0, 0, 0}); got != nil {
+		t.Fatalf("zero series: got %v", got)
+	}
+}
+
+func TestKleinbergSingleBurst(t *testing.T) {
+	series := []float64{1, 1, 1, 40, 45, 42, 1, 1, 1, 1}
+	got := Kleinberg{}.Detect(series)
+	if len(got) != 1 {
+		t.Fatalf("got %v, want one interval", got)
+	}
+	iv := got[0]
+	if iv.Start > 3 || iv.End < 5 {
+		t.Fatalf("interval [%d,%d] should cover the burst [3,5]", iv.Start, iv.End)
+	}
+	if iv.Score <= 0 {
+		t.Fatalf("score %v, want positive", iv.Score)
+	}
+}
+
+func TestKleinbergQuietSeriesNoBurst(t *testing.T) {
+	series := []float64{5, 5, 5, 5, 5, 5}
+	if got := (Kleinberg{}).Detect(series); got != nil {
+		t.Fatalf("uniform series should yield no bursts, got %v", got)
+	}
+}
+
+func TestKleinbergWithTotals(t *testing.T) {
+	// The relative rate is flat even though raw counts spike: with totals
+	// supplied, no burst should be found.
+	series := []float64{1, 2, 8, 1}
+	totals := []float64{10, 20, 80, 10}
+	if got := (Kleinberg{Totals: totals}).Detect(series); got != nil {
+		t.Fatalf("rate-flat series should yield no bursts, got %v", got)
+	}
+	// Now a genuine rate spike.
+	series = []float64{1, 1, 40, 1}
+	totals = []float64{100, 100, 100, 100}
+	got := (Kleinberg{Totals: totals}).Detect(series)
+	if len(got) != 1 || got[0].Start != 2 || got[0].End != 2 {
+		t.Fatalf("got %v, want single burst at [2,2]", got)
+	}
+}
+
+func TestKleinbergInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(40)
+		series := make([]float64, n)
+		for i := range series {
+			series[i] = float64(rng.Intn(10))
+			if rng.Intn(10) == 0 {
+				series[i] += 50
+			}
+		}
+		ivs := Kleinberg{S: 2, Gamma: 1}.Detect(series)
+		prevEnd := -1
+		for _, iv := range ivs {
+			if iv.Start < 0 || iv.End >= n || iv.Start > iv.End {
+				t.Fatalf("series %v: bad interval %+v", series, iv)
+			}
+			if iv.Start <= prevEnd {
+				t.Fatalf("series %v: overlapping intervals %v", series, ivs)
+			}
+			prevEnd = iv.End
+			if iv.Score <= 0 {
+				t.Fatalf("series %v: non-positive score %v", series, iv.Score)
+			}
+		}
+	}
+}
+
+func TestKleinbergHigherSIsStricter(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	series := make([]float64, 60)
+	for i := range series {
+		series[i] = float64(rng.Intn(6))
+	}
+	series[30] = 25
+	loose := Kleinberg{S: 1.5, Gamma: 0.5}.Detect(series)
+	strict := Kleinberg{S: 6, Gamma: 3}.Detect(series)
+	looseCover, strictCover := 0, 0
+	for _, iv := range loose {
+		looseCover += iv.End - iv.Start + 1
+	}
+	for _, iv := range strict {
+		strictCover += iv.End - iv.Start + 1
+	}
+	if strictCover > looseCover {
+		t.Fatalf("stricter parameters covered more timestamps (%d > %d)", strictCover, looseCover)
+	}
+}
+
+func TestDetectorInterfaces(t *testing.T) {
+	var _ Detector = Discrepancy{}
+	var _ Detector = Kleinberg{}
+}
+
+func BenchmarkDiscrepancyDetect(b *testing.B) {
+	rng := rand.New(rand.NewSource(44))
+	series := make([]float64, 365)
+	for i := range series {
+		series[i] = rng.ExpFloat64() * 3
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Discrepancy{}.Detect(series)
+	}
+}
+
+func BenchmarkKleinbergDetect(b *testing.B) {
+	rng := rand.New(rand.NewSource(45))
+	series := make([]float64, 365)
+	for i := range series {
+		series[i] = rng.ExpFloat64() * 3
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Kleinberg{}.Detect(series)
+	}
+}

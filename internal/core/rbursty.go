@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math"
+
+	"stburst/internal/discrepancy"
+	"stburst/internal/geo"
+)
+
+// RectFinder returns the maximum-weight rectangle over a weighted point
+// set, playing the role of the Dobkin et al. module in Algorithm 1.
+// Implementations must honour -Inf blocker weights: a reported rectangle
+// containing a blocker must score -Inf.
+type RectFinder func(pts []discrepancy.WeightedPoint) (discrepancy.Rectangle, bool)
+
+// ExactFinder returns the exact maximum-weight rectangle finder.
+func ExactFinder() RectFinder { return discrepancy.MaxRect }
+
+// GridFinder returns a rectangle finder that aggregates points into a
+// grid×grid partition of bounds — the granularity mechanism of §2 of the
+// paper, which keeps STLocal near-linear for very large stream counts.
+func GridFinder(bounds geo.Rect, grid int) RectFinder {
+	return func(pts []discrepancy.WeightedPoint) (discrepancy.Rectangle, bool) {
+		return discrepancy.GridMaxRect(pts, bounds, grid)
+	}
+}
+
+// BurstyRect is one rectangle reported by R-Bursty: a region whose
+// cumulative burstiness (r-score, Eq. 8) is positive at the current
+// snapshot.
+type BurstyRect struct {
+	Rect    geo.Rect
+	Streams []int // indices of streams inside Rect, ascending
+	Score   float64
+}
+
+// RBursty implements Algorithm 1 of the paper: it repeatedly retrieves
+// the maximum r-score rectangle, reports it, plants -Inf on every stream
+// it contains (eliminating overlap among reported rectangles), and stops
+// as soon as the best remaining rectangle scores at or below zero. The
+// returned rectangles are stream-disjoint and all score positively; there
+// are at most len(points) of them.
+//
+// weights[x] is B(t, D_x[i]) for stream x at the current snapshot
+// (Eq. 7). points and weights must have equal length.
+func RBursty(points []geo.Point, weights []float64, finder RectFinder) []BurstyRect {
+	if len(points) != len(weights) {
+		panic("core: RBursty points/weights length mismatch")
+	}
+	pts := make([]discrepancy.WeightedPoint, len(points))
+	for i, p := range points {
+		pts[i] = discrepancy.WeightedPoint{X: p.X, Y: p.Y, W: weights[i]}
+	}
+	var out []BurstyRect
+	for iter := 0; iter <= len(points); iter++ {
+		r, ok := finder(pts)
+		if !ok || r.Score <= 0 || math.IsInf(r.Score, -1) {
+			break
+		}
+		streams := make([]int, len(r.Points))
+		copy(streams, r.Points)
+		out = append(out, BurstyRect{Rect: r.Rect, Streams: streams, Score: r.Score})
+		for _, i := range r.Points {
+			pts[i].W = math.Inf(-1)
+		}
+	}
+	return out
+}

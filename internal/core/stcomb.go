@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sort"
+
+	"stburst/internal/burst"
+	"stburst/internal/interval"
+)
+
+// STCombOptions configures the STComb miner.
+type STCombOptions struct {
+	// Detector extracts per-stream bursty temporal intervals. The zero
+	// value uses the discrepancy framework of the authors' KDD'09 work
+	// (the paper's default); burst.Kleinberg is a drop-in alternative.
+	Detector burst.Detector
+	// MaxPatterns bounds the number of patterns extracted by iterative
+	// maxClique removal; 0 extracts every positive pattern.
+	MaxPatterns int
+}
+
+// STComb mines combinatorial spatiotemporal patterns for a single term
+// (§3 of the paper). surface[x][i] is the term's frequency in stream x at
+// timestamp i. Patterns are returned in extraction order, i.e. descending
+// score: the first is the Highest-Scoring Subset (Problem 1), the rest are
+// obtained by removing the clique's intervals and re-running maxClique.
+func STComb(surface [][]float64, opts STCombOptions) []CombPattern {
+	det := opts.Detector
+	if det == nil {
+		det = burst.Discrepancy{}
+	}
+	var ivs []interval.Interval
+	for x, series := range surface {
+		for _, b := range det.Detect(series) {
+			ivs = append(ivs, interval.Interval{
+				Start:  b.Start,
+				End:    b.End,
+				Weight: b.Score,
+				Stream: x,
+			})
+		}
+	}
+	return cliquesToPatterns(interval.TopCliques(ivs, opts.MaxPatterns))
+}
+
+func cliquesToPatterns(cliques []interval.Clique) []CombPattern {
+	out := make([]CombPattern, 0, len(cliques))
+	for _, c := range cliques {
+		streams := make([]int, 0, len(c.Members))
+		members := make([]interval.Interval, len(c.Members))
+		copy(members, c.Members)
+		sort.Slice(members, func(i, j int) bool {
+			if members[i].Stream != members[j].Stream {
+				return members[i].Stream < members[j].Stream
+			}
+			return members[i].Start < members[j].Start
+		})
+		for _, m := range members {
+			streams = append(streams, m.Stream)
+		}
+		out = append(out, CombPattern{
+			Streams:   streams,
+			Start:     c.Start,
+			End:       c.End,
+			Score:     c.Weight,
+			Intervals: members,
+		})
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

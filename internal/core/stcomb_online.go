@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"stburst/internal/expect"
+	"stburst/internal/interval"
+	"stburst/internal/maxseq"
+)
+
+// OnlineSTComb is the "purely online version of STComb" the paper lists
+// as future work (§8). Offline STComb must recompute every stream's
+// bursty intervals when new data arrives, because the B_T normalization
+// of Eq. 1 depends on the series total. The online variant instead scores
+// timestamps with the residual weights of Eq. 7 (observed − expected,
+// exactly the quantity STLocal uses) and maintains each stream's maximal
+// bursty intervals incrementally with an online Ruzzo–Tompa instance:
+// Push costs O(n) amortized, and Patterns assembles the current interval
+// set and runs the maxClique extraction on demand.
+//
+// Interval scores are therefore residual sums rather than the
+// [0,1]-normalized B_T; ranking behaviour is preserved (bigger deviations
+// score higher) but absolute pattern scores are not comparable between
+// the two variants.
+type OnlineSTComb struct {
+	baselines []expect.Baseline
+	rts       []maxseq.RuzzoTompa
+	now       int
+}
+
+// NewOnlineSTComb creates an online combinatorial miner over n streams.
+// baseline nil uses the running-mean default.
+func NewOnlineSTComb(n int, baseline expect.Factory) *OnlineSTComb {
+	if baseline == nil {
+		baseline = expect.NewRunningMean()
+	}
+	baselines := make([]expect.Baseline, n)
+	for i := range baselines {
+		baselines[i] = baseline()
+	}
+	return &OnlineSTComb{
+		baselines: baselines,
+		rts:       make([]maxseq.RuzzoTompa, n),
+	}
+}
+
+// Push processes one snapshot of per-stream frequencies.
+func (o *OnlineSTComb) Push(observed []float64) error {
+	if len(observed) != len(o.rts) {
+		return fmt.Errorf("core: snapshot has %d streams, want %d", len(observed), len(o.rts))
+	}
+	for x, obs := range observed {
+		o.rts[x].Add(obs - o.baselines[x].Next(obs))
+	}
+	o.now++
+	return nil
+}
+
+// Timestamps returns the number of snapshots processed so far.
+func (o *OnlineSTComb) Timestamps() int { return o.now }
+
+// Patterns returns up to max combinatorial patterns (0 = all) over the
+// bursty intervals accumulated so far.
+func (o *OnlineSTComb) Patterns(max int) []CombPattern {
+	var ivs []interval.Interval
+	for x := range o.rts {
+		for _, seg := range o.rts[x].Maximals() {
+			ivs = append(ivs, interval.Interval{
+				Start:  seg.Start,
+				End:    seg.End - 1,
+				Weight: seg.Score,
+				Stream: x,
+			})
+		}
+	}
+	return cliquesToPatterns(interval.TopCliques(ivs, max))
+}
+
+// Intervals returns the current per-stream maximal bursty intervals,
+// sorted by stream then start, mainly for inspection and testing.
+func (o *OnlineSTComb) Intervals() []interval.Interval {
+	var ivs []interval.Interval
+	for x := range o.rts {
+		for _, seg := range o.rts[x].Maximals() {
+			ivs = append(ivs, interval.Interval{
+				Start:  seg.Start,
+				End:    seg.End - 1,
+				Weight: seg.Score,
+				Stream: x,
+			})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].Stream != ivs[j].Stream {
+			return ivs[i].Stream < ivs[j].Stream
+		}
+		return ivs[i].Start < ivs[j].Start
+	})
+	return ivs
+}

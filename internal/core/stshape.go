@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sort"
+
+	"stburst/internal/geo"
+)
+
+// ShapeRegion is a bursty region of arbitrary shape: a 4-connected set of
+// grid cells whose aggregate burstiness is positive. It addresses the
+// paper's future-work item of extending STLocal "to handle geographical
+// regions of arbitrary size, as opposed to the rectangular shapes" (§8).
+type ShapeRegion struct {
+	Cells   [][2]int // (col, row) grid cells, in discovery order
+	Streams []int    // indices of member streams, ascending
+	Score   float64
+}
+
+// RShapeBursty finds all maximal arbitrary-shape bursty regions of one
+// snapshot: streams are aggregated into a grid×grid partition of bounds,
+// and every 4-connected component of positive-total cells whose aggregate
+// weight is positive becomes a region. Components are maximal by
+// construction (no positive cell is left unassigned) and mutually
+// disjoint, mirroring R-Bursty's no-overlap guarantee. Regions are
+// returned by descending score.
+func RShapeBursty(points []geo.Point, weights []float64, bounds geo.Rect, grid int) []ShapeRegion {
+	if len(points) != len(weights) {
+		panic("core: RShapeBursty points/weights length mismatch")
+	}
+	if grid < 1 {
+		grid = 1
+	}
+	w := bounds.Width()
+	h := bounds.Height()
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	cellW := make([][]float64, grid)
+	cellStreams := make([][][]int, grid)
+	for r := range cellW {
+		cellW[r] = make([]float64, grid)
+		cellStreams[r] = make([][]int, grid)
+	}
+	for i, p := range points {
+		if !bounds.Contains(p) {
+			continue
+		}
+		cx := int((p.X - bounds.MinX) / w * float64(grid))
+		cy := int((p.Y - bounds.MinY) / h * float64(grid))
+		if cx == grid {
+			cx = grid - 1
+		}
+		if cy == grid {
+			cy = grid - 1
+		}
+		cellW[cy][cx] += weights[i]
+		cellStreams[cy][cx] = append(cellStreams[cy][cx], i)
+	}
+	visited := make([][]bool, grid)
+	for r := range visited {
+		visited[r] = make([]bool, grid)
+	}
+	var regions []ShapeRegion
+	var stack [][2]int
+	for r := 0; r < grid; r++ {
+		for c := 0; c < grid; c++ {
+			if visited[r][c] || cellW[r][c] <= 0 {
+				continue
+			}
+			// Flood-fill the 4-connected component of positive cells.
+			var reg ShapeRegion
+			stack = append(stack[:0], [2]int{c, r})
+			visited[r][c] = true
+			for len(stack) > 0 {
+				cell := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				cc, cr := cell[0], cell[1]
+				reg.Cells = append(reg.Cells, cell)
+				reg.Score += cellW[cr][cc]
+				reg.Streams = append(reg.Streams, cellStreams[cr][cc]...)
+				for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					nc, nr := cc+d[0], cr+d[1]
+					if nc < 0 || nc >= grid || nr < 0 || nr >= grid {
+						continue
+					}
+					if visited[nr][nc] || cellW[nr][nc] <= 0 {
+						continue
+					}
+					visited[nr][nc] = true
+					stack = append(stack, [2]int{nc, nr})
+				}
+			}
+			if reg.Score > 0 {
+				sort.Ints(reg.Streams)
+				regions = append(regions, reg)
+			}
+		}
+	}
+	sort.Slice(regions, func(i, j int) bool {
+		if regions[i].Score != regions[j].Score {
+			return regions[i].Score > regions[j].Score
+		}
+		a, b := regions[i].Cells[0], regions[j].Cells[0]
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[0] < b[0]
+	})
+	return regions
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stburst/internal/geo"
+)
+
+func TestRShapeBurstyEmpty(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	if got := RShapeBursty(nil, nil, bounds, 4); got != nil {
+		t.Fatalf("empty input: got %v", got)
+	}
+	if got := RShapeBursty(line(3), []float64{-1, -1, -1}, bounds, 4); got != nil {
+		t.Fatalf("all-negative: got %v", got)
+	}
+}
+
+func TestRShapeBurstyMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RShapeBursty(line(2), []float64{1}, geo.Rect{MaxX: 1, MaxY: 1}, 2)
+}
+
+func TestRShapeBurstyLShapedRegion(t *testing.T) {
+	// Positive cells form an L shape a rectangle could not capture
+	// without swallowing the heavily negative corner.
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 3, MaxY: 3}
+	pts := []geo.Point{
+		{X: 0.5, Y: 0.5}, // cell (0,0)
+		{X: 1.5, Y: 0.5}, // cell (1,0)
+		{X: 2.5, Y: 0.5}, // cell (2,0)
+		{X: 0.5, Y: 1.5}, // cell (0,1)
+		{X: 0.5, Y: 2.5}, // cell (0,2)
+		{X: 2.5, Y: 2.5}, // cell (2,2): heavy negative
+	}
+	w := []float64{2, 2, 2, 2, 2, -100}
+	regions := RShapeBursty(pts, w, bounds, 3)
+	if len(regions) != 1 {
+		t.Fatalf("got %d regions, want 1: %+v", len(regions), regions)
+	}
+	r := regions[0]
+	if math.Abs(r.Score-10) > 1e-12 {
+		t.Fatalf("score %v, want 10", r.Score)
+	}
+	if len(r.Streams) != 5 {
+		t.Fatalf("streams %v, want the five positive streams", r.Streams)
+	}
+	if len(r.Cells) != 5 {
+		t.Fatalf("cells %v, want 5 L-shaped cells", r.Cells)
+	}
+	for _, x := range r.Streams {
+		if x == 5 {
+			t.Fatal("negative stream included")
+		}
+	}
+}
+
+func TestRShapeBurstySeparateComponents(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4}
+	pts := []geo.Point{
+		{X: 0.5, Y: 0.5},
+		{X: 3.5, Y: 3.5},
+	}
+	w := []float64{1, 5}
+	regions := RShapeBursty(pts, w, bounds, 4)
+	if len(regions) != 2 {
+		t.Fatalf("got %d regions, want 2: %+v", len(regions), regions)
+	}
+	if regions[0].Score != 5 || regions[1].Score != 1 {
+		t.Fatalf("scores %v, %v; want 5, 1 (descending)", regions[0].Score, regions[1].Score)
+	}
+}
+
+func TestRShapeBurstyDiagonalNotConnected(t *testing.T) {
+	// Diagonal adjacency is not 4-connectivity: two diagonal cells are
+	// separate regions.
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}
+	pts := []geo.Point{
+		{X: 0.5, Y: 0.5}, // cell (0,0)
+		{X: 1.5, Y: 1.5}, // cell (1,1)
+	}
+	regions := RShapeBursty(pts, []float64{1, 1}, bounds, 2)
+	if len(regions) != 2 {
+		t.Fatalf("diagonal cells merged: %+v", regions)
+	}
+}
+
+func TestRShapeBurstyNegativeCellBreaksBridge(t *testing.T) {
+	// A middle cell whose aggregate is negative separates two positives.
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 3, MaxY: 1}
+	pts := []geo.Point{
+		{X: 0.5, Y: 0.5},
+		{X: 1.5, Y: 0.5},
+		{X: 2.5, Y: 0.5},
+	}
+	regions := RShapeBursty(pts, []float64{4, -1, 3}, bounds, 3)
+	if len(regions) != 2 {
+		t.Fatalf("got %d regions, want 2: %+v", len(regions), regions)
+	}
+}
+
+func TestRShapeBurstyStreamsDisjointInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + rng.Intn(40)
+		pts := make([]geo.Point, n)
+		w := make([]float64, n)
+		for i := range pts {
+			pts[i] = geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+			w[i] = rng.NormFloat64()
+		}
+		regions := RShapeBursty(pts, w, bounds, 5)
+		seen := map[int]bool{}
+		for _, r := range regions {
+			if r.Score <= 0 {
+				t.Fatalf("non-positive region score %v", r.Score)
+			}
+			for _, x := range r.Streams {
+				if seen[x] {
+					t.Fatalf("stream %d in two regions", x)
+				}
+				seen[x] = true
+			}
+		}
+	}
+}

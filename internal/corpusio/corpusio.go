@@ -1,0 +1,90 @@
+// Package corpusio reads and writes the JSONL corpus interchange format
+// used by the command-line tools: a header line describing the streams
+// and the timeline, followed by one document per line.
+package corpusio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"stburst/internal/gen"
+	"stburst/internal/geo"
+	"stburst/internal/stream"
+)
+
+// Header is the first JSONL line of a corpus.
+type Header struct {
+	Kind     string   `json:"kind"`
+	Streams  []string `json:"streams"`
+	Timeline int      `json:"timeline"`
+}
+
+// DocLine is one document line.
+type DocLine struct {
+	Stream string         `json:"stream"`
+	Time   int            `json:"time"`
+	Counts map[string]int `json:"counts"`
+	Event  int            `json:"event"`
+}
+
+// Load reads a topix-kind corpus, rebuilding the collection with stream
+// locations projected by MDS over country distances (as §6.1 of the
+// paper does), and returns the per-document ground-truth event labels.
+func Load(r io.Reader) (*stream.Collection, []int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("corpusio: empty input: %v", sc.Err())
+	}
+	var h Header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, nil, fmt.Errorf("corpusio: reading header: %w", err)
+	}
+	if h.Kind != "topix" {
+		return nil, nil, fmt.Errorf("corpusio: unsupported corpus kind %q", h.Kind)
+	}
+	infos := make([]stream.Info, len(h.Streams))
+	streamIdx := make(map[string]int, len(h.Streams))
+	coords := make([]geo.LatLon, len(h.Streams))
+	for i, name := range h.Streams {
+		ci := gen.CountryIndex(name)
+		if ci < 0 {
+			return nil, nil, fmt.Errorf("corpusio: unknown country %q", name)
+		}
+		coords[i] = gen.Countries[ci].Geo
+		infos[i] = stream.Info{Name: name, Geo: coords[i]}
+		streamIdx[name] = i
+	}
+	pts, err := geo.MDS(geo.DistanceMatrix(coords, geo.Haversine), rand.New(rand.NewSource(1)))
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range infos {
+		infos[i].Location = pts[i]
+	}
+	col := stream.NewCollection(infos, h.Timeline)
+	col.SetRetainCounts(false)
+	var labels []int
+	for sc.Scan() {
+		var d DocLine
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			return nil, nil, fmt.Errorf("corpusio: reading document: %w", err)
+		}
+		x, ok := streamIdx[d.Stream]
+		if !ok {
+			return nil, nil, fmt.Errorf("corpusio: document from unknown stream %q", d.Stream)
+		}
+		counts := make(map[int]int, len(d.Counts))
+		for t, n := range d.Counts {
+			counts[col.Dict().ID(t)] = n
+		}
+		if _, err := col.AddCounts(x, d.Time, counts); err != nil {
+			return nil, nil, err
+		}
+		labels = append(labels, d.Event)
+	}
+	return col, labels, sc.Err()
+}

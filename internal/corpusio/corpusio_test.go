@@ -1,0 +1,67 @@
+package corpusio
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestLoadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(Header{Kind: "topix", Streams: []string{"Peru", "Chile"}, Timeline: 4}); err != nil {
+		t.Fatal(err)
+	}
+	docs := []DocLine{
+		{Stream: "Peru", Time: 1, Counts: map[string]int{"fujimori": 2, "trial": 1}, Event: 17},
+		{Stream: "Chile", Time: 3, Counts: map[string]int{"fujimori": 1}, Event: 0},
+	}
+	for _, d := range docs {
+		if err := enc.Encode(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col, labels, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.NumStreams() != 2 || col.Length() != 4 || col.NumDocs() != 2 {
+		t.Fatalf("dims %d/%d/%d", col.NumStreams(), col.Length(), col.NumDocs())
+	}
+	if labels[0] != 17 || labels[1] != 0 {
+		t.Fatalf("labels %v", labels)
+	}
+	id, ok := col.Dict().Lookup("fujimori")
+	if !ok {
+		t.Fatal("term missing")
+	}
+	s := col.Surface(id)
+	if s[0][1] != 2 || s[1][3] != 1 {
+		t.Fatalf("surface wrong: %v", s)
+	}
+	// Stream locations must be projected (non-identical points).
+	if col.Stream(0).Location == col.Stream(1).Location {
+		t.Fatal("MDS projection collapsed the streams")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, _, err := Load(strings.NewReader("")); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, _, err := Load(strings.NewReader(`{"kind":"other"}`)); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+	if _, _, err := Load(strings.NewReader(`{"kind":"topix","streams":["Atlantis"],"timeline":4}`)); err == nil {
+		t.Fatal("unknown country should error")
+	}
+	bad := `{"kind":"topix","streams":["Peru"],"timeline":4}` + "\n" + `{"stream":"Nowhere","time":0}`
+	if _, _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Fatal("unknown document stream should error")
+	}
+	bad = `{"kind":"topix","streams":["Peru"],"timeline":4}` + "\n" + `{"stream":"Peru","time":9}`
+	if _, _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Fatal("out-of-range time should error")
+	}
+}

@@ -1,0 +1,123 @@
+// Package eval implements the evaluation metrics of the paper's §6:
+// Jaccard similarity of stream sets, timeframe start/end errors (Table 2),
+// precision@k against ground-truth relevance (Table 3), pairwise top-k
+// overlap (§6.3), and the histogram utility behind Figs. 5–6.
+package eval
+
+import "sort"
+
+// JaccardInt returns |A∩B| / |A∪B| for two integer sets given as slices
+// (duplicates are ignored). The Jaccard coefficient of two empty sets is
+// defined as 1.
+func JaccardInt(a, b []int) float64 {
+	sa := make(map[int]struct{}, len(a))
+	for _, x := range a {
+		sa[x] = struct{}{}
+	}
+	sb := make(map[int]struct{}, len(b))
+	for _, x := range b {
+		sb[x] = struct{}{}
+	}
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for x := range sa {
+		if _, ok := sb[x]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	return float64(inter) / float64(union)
+}
+
+// AbsErr returns |a − b| as a float64 — the Start-Error/End-Error measure
+// of §6.2.2 for timestamp indices.
+func AbsErr(a, b int) float64 {
+	if a > b {
+		return float64(a - b)
+	}
+	return float64(b - a)
+}
+
+// PrecisionAtK returns the fraction of the first k retrieved items that
+// are relevant. When fewer than k items were retrieved, the denominator
+// is still k (missing items count as irrelevant), matching a fixed-k
+// evaluation. k must be positive.
+func PrecisionAtK(retrieved []int, relevant map[int]bool, k int) float64 {
+	if k <= 0 {
+		panic("eval: PrecisionAtK requires k > 0")
+	}
+	if len(retrieved) > k {
+		retrieved = retrieved[:k]
+	}
+	hits := 0
+	for _, d := range retrieved {
+		if relevant[d] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// TopKOverlap returns |A∩B| / k for two top-k result lists — the
+// "similarity between their top-k sets (defined as the size of the
+// overlap divided by 10)" of §6.3. k must be positive.
+func TopKOverlap(a, b []int, k int) float64 {
+	if k <= 0 {
+		panic("eval: TopKOverlap requires k > 0")
+	}
+	if len(a) > k {
+		a = a[:k]
+	}
+	if len(b) > k {
+		b = b[:k]
+	}
+	sa := make(map[int]struct{}, len(a))
+	for _, x := range a {
+		sa[x] = struct{}{}
+	}
+	inter := 0
+	for _, x := range b {
+		if _, ok := sa[x]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(k)
+}
+
+// Histogram buckets values into [edges[i], edges[i+1]) bins plus a final
+// overflow bin for values at or above the last edge. It returns one count
+// per bin (len(edges) bins in total).
+func Histogram(values []float64, edges []float64) []int {
+	counts := make([]int, len(edges))
+	for _, v := range values {
+		// Find the last edge <= v.
+		i := sort.SearchFloat64s(edges, v)
+		if i < len(edges) && edges[i] == v {
+			// v is exactly an edge: belongs to the bin starting at v.
+		} else {
+			i--
+		}
+		if i < 0 {
+			continue // below the first edge: not counted
+		}
+		if i >= len(edges) {
+			i = len(edges) - 1
+		}
+		counts[i]++
+	}
+	return counts
+}
+
+// Mean returns the arithmetic mean of values (0 for an empty slice).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}

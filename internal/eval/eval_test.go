@@ -1,0 +1,123 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJaccardInt(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want float64
+	}{
+		{[]int{1, 2, 3}, []int{2, 3, 4}, 0.5},
+		{[]int{1}, []int{1}, 1},
+		{[]int{1}, []int{2}, 0},
+		{nil, nil, 1},
+		{[]int{1}, nil, 0},
+		{[]int{1, 1, 2}, []int{2, 2}, 1.0 / 2.0}, // duplicates ignored
+	}
+	for _, tc := range cases {
+		if got := JaccardInt(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("JaccardInt(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := JaccardInt(tc.b, tc.a); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("JaccardInt symmetric (%v,%v) = %v, want %v", tc.b, tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestJaccardIntRange(t *testing.T) {
+	f := func(a, b []int8) bool {
+		ai := make([]int, len(a))
+		for i, v := range a {
+			ai[i] = int(v)
+		}
+		bi := make([]int, len(b))
+		for i, v := range b {
+			bi[i] = int(v)
+		}
+		j := JaccardInt(ai, bi)
+		return j >= 0 && j <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbsErr(t *testing.T) {
+	if AbsErr(3, 7) != 4 || AbsErr(7, 3) != 4 || AbsErr(5, 5) != 0 {
+		t.Fatal("AbsErr misbehaves")
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	rel := map[int]bool{1: true, 2: true, 3: true}
+	if got := PrecisionAtK([]int{1, 2, 9, 8, 3}, rel, 5); got != 0.6 {
+		t.Fatalf("got %v, want 0.6", got)
+	}
+	// Short result lists are penalized against fixed k.
+	if got := PrecisionAtK([]int{1}, rel, 10); got != 0.1 {
+		t.Fatalf("got %v, want 0.1", got)
+	}
+	// Over-long lists are truncated.
+	if got := PrecisionAtK([]int{9, 9, 1}, rel, 2); got != 0 {
+		t.Fatalf("got %v, want 0", got)
+	}
+}
+
+func TestPrecisionAtKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PrecisionAtK(nil, nil, 0)
+}
+
+func TestTopKOverlap(t *testing.T) {
+	a := []int{1, 2, 3, 4, 5}
+	b := []int{3, 4, 5, 6, 7}
+	if got := TopKOverlap(a, b, 5); got != 0.6 {
+		t.Fatalf("got %v, want 0.6", got)
+	}
+	if got := TopKOverlap(a, a, 5); got != 1 {
+		t.Fatalf("self overlap = %v, want 1", got)
+	}
+	if got := TopKOverlap(a, []int{9}, 5); got != 0 {
+		t.Fatalf("got %v, want 0", got)
+	}
+	// Truncation to k.
+	if got := TopKOverlap([]int{1, 2}, []int{2, 1}, 1); got != 0 {
+		t.Fatalf("got %v, want 0 (only heads compared)", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges := []float64{0, 1, 2, 5}
+	got := Histogram([]float64{0, 0.5, 1, 1.9, 3, 5, 100, -1}, edges)
+	// [0,1): 0, 0.5 → 2; [1,2): 1, 1.9 → 2; [2,5): 3 → 1; [5,∞): 5, 100 → 2.
+	want := []int{2, 2, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Histogram = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	got := Histogram(nil, []float64{0, 1})
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("got %v, want 2", got)
+	}
+}

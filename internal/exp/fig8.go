@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"stburst/internal/burst"
+	"stburst/internal/core"
+	"stburst/internal/gen"
+	"stburst/internal/interval"
+)
+
+// Fig8Row is one point of Figure 8: per-term mining time against the
+// number of streams.
+type Fig8Row struct {
+	Streams  int
+	STLocalS float64 // seconds per term
+	STCombS  float64 // seconds per term
+}
+
+// Fig8Config scales the scalability sweep. The paper sweeps 500 ..
+// 128,000 streams on distGen data (timeline 365, 10,000 terms, 1,000
+// patterns), timing the per-term cost.
+type Fig8Config struct {
+	Sizes     []int // default {500, 1000, 2000, 4000, 8000}
+	TermCount int   // terms timed per size; default 3
+	Timeline  int   // default 365
+	Seed      int64 // default 43
+	Grid      int   // STLocal grid resolution; default 24
+}
+
+func (c Fig8Config) withDefaults() Fig8Config {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{500, 1000, 2000, 4000, 8000}
+	}
+	if c.TermCount == 0 {
+		c.TermCount = 3
+	}
+	if c.Timeline == 0 {
+		c.Timeline = 365
+	}
+	if c.Seed == 0 {
+		c.Seed = 43
+	}
+	if c.Grid == 0 {
+		c.Grid = 24
+	}
+	return c
+}
+
+// FullFig8Sizes is the paper's full sweep.
+var FullFig8Sizes = []int{500, 1000, 2000, 4000, 8000, 16000, 32000, 64000, 128000}
+
+// Fig8 measures per-term mining time as the stream count grows. Both
+// miners stream over hash-generated frequencies so memory stays O(n):
+// STLocal uses the grid rectangle finder (the §2 granularity mechanism —
+// the exact finder's positive-coordinate search would be cubic in the
+// dense synthetic noise), and STComb detects per-stream intervals series
+// by series before one clique extraction.
+func Fig8(cfg Fig8Config) []Fig8Row {
+	cfg = cfg.withDefaults()
+	rows := make([]Fig8Row, 0, len(cfg.Sizes))
+	for _, n := range cfg.Sizes {
+		ds := gen.NewSynth(gen.SynthConfig{
+			Streams:  n,
+			Timeline: cfg.Timeline,
+			Seed:     cfg.Seed,
+			Mode:     gen.DistGen,
+		})
+		terms := ds.PatternTerms()
+		if len(terms) > cfg.TermCount {
+			terms = terms[:cfg.TermCount]
+		}
+		var localNs, combNs float64
+		for _, term := range terms {
+			localNs += float64(timeSTLocalStream(ds, term, cfg.Grid).Nanoseconds())
+			combNs += float64(timeSTCombStream(ds, term).Nanoseconds())
+		}
+		rows = append(rows, Fig8Row{
+			Streams:  n,
+			STLocalS: localNs / float64(len(terms)) / 1e9,
+			STCombS:  combNs / float64(len(terms)) / 1e9,
+		})
+	}
+	return rows
+}
+
+func timeSTLocalStream(ds *gen.Synth, term, grid int) time.Duration {
+	m := core.NewSTLocal(ds.Points(), core.STLocalOptions{
+		Finder: core.GridFinder(ds.Bounds(), grid),
+	})
+	buf := make([]float64, ds.Config().Streams)
+	start := time.Now()
+	for i := 0; i < ds.Config().Timeline; i++ {
+		ds.Snapshot(term, i, buf)
+		if err := m.Push(buf); err != nil {
+			panic(err)
+		}
+	}
+	m.Windows()
+	return time.Since(start)
+}
+
+func timeSTCombStream(ds *gen.Synth, term int) time.Duration {
+	det := burst.Discrepancy{}
+	start := time.Now()
+	var ivs []interval.Interval
+	for x := 0; x < ds.Config().Streams; x++ {
+		series := ds.Series(term, x)
+		for _, b := range det.Detect(series) {
+			ivs = append(ivs, interval.Interval{Start: b.Start, End: b.End, Weight: b.Score, Stream: x})
+		}
+	}
+	interval.TopCliques(ivs, 0) // extract every pattern, as STLocal does
+	return time.Since(start)
+}
+
+// FormatFig8 renders the scalability series.
+func FormatFig8(rows []Fig8Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			fmt.Sprint(r.Streams),
+			fmt.Sprintf("%.3f", r.STLocalS),
+			fmt.Sprintf("%.3f", r.STCombS),
+		}
+	}
+	return formatTable([]string{"#streams", "STLocal s/term", "STComb s/term"}, out)
+}
+
+// FormatTable9 renders the Major Events List (Table 9 of the paper's
+// appendix, Table 4 in some printings).
+func FormatTable9() string {
+	rows := make([][]string, len(gen.Events))
+	for i, ev := range gen.Events {
+		rows[i] = []string{
+			fmt.Sprint(ev.ID),
+			queryString(ev),
+			ev.Tier.String(),
+			ev.Description,
+		}
+	}
+	return formatTable([]string{"#", "Query", "Tier", "Event Description"}, rows)
+}

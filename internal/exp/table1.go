@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"fmt"
+
+	"stburst/internal/gen"
+	"stburst/internal/geo"
+)
+
+// Table1Row reproduces one row of Table 1 ("Top-Scoring Bursty Source
+// Patterns"): the number of countries in the top STLocal pattern, the
+// top STComb pattern, and the MBR of the top STComb pattern's countries.
+type Table1Row struct {
+	EventID int
+	Query   string
+	Tier    string
+	STLocal int // countries inside the top regional pattern's rectangle
+	STComb  int // countries in the top combinatorial pattern's clique
+	MBR     int // countries inside the MBR of the STComb pattern
+}
+
+// Table1 runs the §6.2 experiment: for each Major Events List query,
+// retrieve the top-scoring pattern with both approaches and report the
+// stream counts.
+func Table1(l *Lab) []Table1Row {
+	points := l.Col().Points()
+	rows := make([]Table1Row, 0, len(l.TP.QueryTerms))
+	for _, ev := range gen.Events {
+		terms := l.TP.QueryTerms[ev.ID]
+		row := Table1Row{EventID: ev.ID, Query: queryString(ev), Tier: ev.Tier.String()}
+		if w, ok := l.bestWindowForQuery(terms); ok {
+			row.STLocal = len(w.Streams)
+		}
+		if p, ok := l.bestCombForQuery(terms); ok {
+			row.STComb = len(p.Streams)
+			memberPts := make([]geo.Point, len(p.Streams))
+			for i, x := range p.Streams {
+				memberPts[i] = points[x]
+			}
+			if mbr, ok := geo.MBR(memberPts); ok {
+				for _, pt := range points {
+					if mbr.Contains(pt) {
+						row.MBR++
+					}
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTable1 renders Table 1 in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			fmt.Sprint(r.EventID), r.Query, r.Tier,
+			fmt.Sprint(r.STLocal), fmt.Sprint(r.STComb), fmt.Sprint(r.MBR),
+		}
+	}
+	return formatTable(
+		[]string{"#", "Query", "Tier", "#countries STLocal", "#countries STComb", "#countries MBR"},
+		out)
+}
+
+// Fig4Row reproduces one bar pair of Figure 4: the timeframe length (in
+// weeks) of the top-scoring pattern per query, for both approaches.
+type Fig4Row struct {
+	EventID int
+	Query   string
+	STLocal int // weeks spanned by the top regional pattern
+	STComb  int // weeks spanned by the top combinatorial pattern
+}
+
+// Fig4 runs the §6.2.1 timeframe evaluation.
+func Fig4(l *Lab) []Fig4Row {
+	rows := make([]Fig4Row, 0, len(l.TP.QueryTerms))
+	for _, ev := range gen.Events {
+		terms := l.TP.QueryTerms[ev.ID]
+		row := Fig4Row{EventID: ev.ID, Query: queryString(ev)}
+		if w, ok := l.bestWindowForQuery(terms); ok {
+			row.STLocal = w.End - w.Start + 1
+		}
+		if p, ok := l.bestCombForQuery(terms); ok {
+			row.STComb = p.End - p.Start + 1
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatFig4 renders Figure 4's series as a table plus an ASCII bar
+// chart.
+func FormatFig4(rows []Fig4Row) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			fmt.Sprint(r.EventID), r.Query,
+			fmt.Sprintf("%2d %s", r.STLocal, bar(r.STLocal)),
+			fmt.Sprintf("%2d %s", r.STComb, bar(r.STComb)),
+		}
+	}
+	return formatTable([]string{"#", "Query", "STLocal weeks", "STComb weeks"}, out)
+}
+
+func bar(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	if n > 48 {
+		n = 48
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}

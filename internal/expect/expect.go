@@ -1,0 +1,205 @@
+// Package expect implements expected-frequency baselines E_x[i][t] for the
+// discrepancy model of Eq. 7 in the paper: B(t, D_x[i]) = D_x[i][t] −
+// E_x[i][t]. The paper (§4, "Single Data Stream") leaves the baseline
+// pluggable — the average over all earlier snapshots, a recent-window
+// average, or seasonal data from previous timeframes — so each of those is
+// provided behind a common interface.
+package expect
+
+// Baseline predicts the expected next frequency of one series (a single
+// term in a single stream). Implementations are stateful: Next first
+// returns the expectation for the incoming observation using only earlier
+// observations, then folds the observation into the model.
+type Baseline interface {
+	// Next returns the expected frequency for this observation and then
+	// absorbs the observed value into the model state.
+	Next(observed float64) (expected float64)
+	// Reset returns the model to its initial state.
+	Reset()
+}
+
+// Factory creates one Baseline instance per (stream, term) series.
+type Factory func() Baseline
+
+// RunningMean predicts the mean of all previous observations — the
+// paper's default choice ("the average observed frequency of t in D_x,
+// taken over all the snapshots collected before timestamp i"). The first
+// observation, which has no history, is predicted perfectly (weight 0) so
+// that the opening timestamp is never spuriously bursty.
+type RunningMean struct {
+	sum float64
+	n   int
+}
+
+// NewRunningMean returns a Factory producing RunningMean baselines.
+func NewRunningMean() Factory {
+	return func() Baseline { return &RunningMean{} }
+}
+
+// Next implements Baseline.
+func (m *RunningMean) Next(observed float64) float64 {
+	var expected float64
+	if m.n == 0 {
+		expected = observed
+	} else {
+		expected = m.sum / float64(m.n)
+	}
+	m.sum += observed
+	m.n++
+	return expected
+}
+
+// Reset implements Baseline.
+func (m *RunningMean) Reset() { m.sum, m.n = 0, 0 }
+
+// WindowMean predicts the mean of the most recent K observations ("one can
+// focus only on the most recent measurements").
+type WindowMean struct {
+	k    int
+	buf  []float64
+	head int
+	size int
+	sum  float64
+}
+
+// NewWindowMean returns a Factory producing WindowMean baselines over the
+// last k observations. k must be positive.
+func NewWindowMean(k int) Factory {
+	if k < 1 {
+		panic("expect: WindowMean requires k >= 1")
+	}
+	return func() Baseline { return &WindowMean{k: k, buf: make([]float64, k)} }
+}
+
+// Next implements Baseline.
+func (m *WindowMean) Next(observed float64) float64 {
+	var expected float64
+	if m.size == 0 {
+		expected = observed
+	} else {
+		expected = m.sum / float64(m.size)
+	}
+	if m.size == m.k {
+		m.sum -= m.buf[m.head]
+	} else {
+		m.size++
+	}
+	m.buf[m.head] = observed
+	m.sum += observed
+	m.head = (m.head + 1) % m.k
+	return expected
+}
+
+// Reset implements Baseline.
+func (m *WindowMean) Reset() {
+	m.head, m.size, m.sum = 0, 0, 0
+}
+
+// EWMA predicts an exponentially weighted moving average with smoothing
+// factor alpha in (0, 1]: heavier alpha tracks recent activity faster.
+type EWMA struct {
+	alpha float64
+	val   float64
+	init  bool
+}
+
+// NewEWMA returns a Factory producing EWMA baselines.
+func NewEWMA(alpha float64) Factory {
+	if alpha <= 0 || alpha > 1 {
+		panic("expect: EWMA requires alpha in (0,1]")
+	}
+	return func() Baseline { return &EWMA{alpha: alpha} }
+}
+
+// Next implements Baseline.
+func (m *EWMA) Next(observed float64) float64 {
+	if !m.init {
+		m.val = observed
+		m.init = true
+		return observed
+	}
+	expected := m.val
+	m.val = m.alpha*observed + (1-m.alpha)*m.val
+	return expected
+}
+
+// Reset implements Baseline.
+func (m *EWMA) Reset() { m.val, m.init = 0, false }
+
+// Seasonal predicts the mean of observations exactly one or more whole
+// periods earlier (the paper's example: the expected frequency of a term
+// in San Francisco news on Dec-25-09 is its average on Decembers of
+// previous years). When no prior-period observation exists yet it falls
+// back to a running mean.
+type Seasonal struct {
+	period   int
+	history  []float64
+	fallback RunningMean
+}
+
+// NewSeasonal returns a Factory producing Seasonal baselines with the
+// given period (in timestamps). period must be positive.
+func NewSeasonal(period int) Factory {
+	if period < 1 {
+		panic("expect: Seasonal requires period >= 1")
+	}
+	return func() Baseline { return &Seasonal{period: period} }
+}
+
+// Next implements Baseline.
+func (m *Seasonal) Next(observed float64) float64 {
+	i := len(m.history)
+	var sum float64
+	var n int
+	for j := i - m.period; j >= 0; j -= m.period {
+		sum += m.history[j]
+		n++
+	}
+	var expected float64
+	if n > 0 {
+		expected = sum / float64(n)
+		m.fallback.Next(observed) // keep fallback state warm
+	} else {
+		expected = m.fallback.Next(observed)
+	}
+	m.history = append(m.history, observed)
+	return expected
+}
+
+// Reset implements Baseline.
+func (m *Seasonal) Reset() {
+	m.history = m.history[:0]
+	m.fallback.Reset()
+}
+
+// Constant predicts a fixed expected frequency, useful when an external
+// model (e.g. corpus-wide rates from previous years) supplies the
+// expectation.
+type Constant struct{ V float64 }
+
+// NewConstant returns a Factory producing Constant baselines.
+func NewConstant(v float64) Factory {
+	return func() Baseline { return &Constant{V: v} }
+}
+
+// Next implements Baseline.
+func (m *Constant) Next(float64) float64 { return m.V }
+
+// Reset implements Baseline.
+func (m *Constant) Reset() {}
+
+// WeightSurface converts a frequency surface (streams × timeline) into the
+// burstiness-weight surface B(t, D_x[i]) = observed − expected of Eq. 7,
+// instantiating one baseline per stream.
+func WeightSurface(surface [][]float64, f Factory) [][]float64 {
+	out := make([][]float64, len(surface))
+	for x, series := range surface {
+		b := f()
+		row := make([]float64, len(series))
+		for i, obs := range series {
+			row[i] = obs - b.Next(obs)
+		}
+		out[x] = row
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package gen
+
+// Tier classifies the spatiotemporal reach of a major event, following
+// the paper's three "loosely-defined categories" (§6.1): global impact
+// (events 1–6), major multi-country impact (7–12), localized impact
+// (13–18).
+type Tier int
+
+const (
+	// TierGlobal events are reflected in the large majority of streams.
+	TierGlobal Tier = iota
+	// TierMajor events reach tens of countries around their epicenters.
+	TierMajor
+	// TierLocal events stay close to their epicenters.
+	TierLocal
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierGlobal:
+		return "global"
+	case TierMajor:
+		return "major"
+	default:
+		return "local"
+	}
+}
+
+// ReachSpec controls how an episode's coverage decays over distance from
+// the epicenter.
+type ReachSpec struct {
+	// TauKm is the e-folding distance of coverage intensity.
+	TauKm float64
+	// Floor is the probability that an arbitrary far-away country still
+	// picks the story up (worldwide media echo).
+	Floor float64
+	// Pickup scales the intensity of such far pickups relative to the
+	// epicenter's.
+	Pickup float64
+}
+
+// Episode is one geographically anchored outbreak of an event: some
+// events in the paper's list ("earthquake", "terrorists", "piracy")
+// recur from several epicenters at different weeks, which is exactly why
+// STLocal and STComb treat them so differently (§6.3: STLocal's top-10
+// for "earthquake" all discuss the Costa Rica quake; STComb's span
+// quakes across the world).
+type Episode struct {
+	Epicenter string // country name
+	Start     int    // week index (0-based) within the Sep-08..Jul-09 timeline
+	Length    int    // weeks
+	Peak      float64
+	ShapeK    float64    // Weibull shape of the temporal envelope
+	Reach     *ReachSpec // nil uses the event tier's default reach
+}
+
+// Event is one entry of the paper's Major Events List (Table 9).
+type Event struct {
+	ID          int      // 1-based, as in Table 9
+	Query       []string // query terms the annotator chose
+	Description string
+	Tier        Tier
+	// Ambient weighs how often the query terms appear in unrelated
+	// background articles ("fires" and "france" are everyday words,
+	// "nkunda" is not). Ambient usage creates the negative drag that
+	// keeps STLocal rectangles from spanning the globe.
+	Ambient  float64
+	Episodes []Episode
+	// Confusers model coverage that uses the query terms without being
+	// about the event: the rebel campaign before the capture, the
+	// footballer who shares the politician's surname, the trial before
+	// the sentencing. Their articles carry ground-truth label 0, and
+	// they — not random noise — are what the temporal-only TB engine
+	// confuses with the event (§6.3).
+	Confusers []Confuser
+}
+
+// Confuser is one stream of related-but-not-relevant coverage.
+type Confuser struct {
+	Country   string
+	Start     int     // first week (0-based)
+	Length    int     // weeks
+	Rate      float64 // mean articles per week (at WeeklyArticles=12 scale)
+	FreqBoost float64 // extra query-term occurrences per article (Poisson mean)
+}
+
+// Events is the Major Events List between September 2008 and July 2009
+// (Table 9 of the paper), with epicenters and week offsets reconstructed
+// from the event descriptions. Week 0 is the first week of September
+// 2008; the timeline has 48 weeks (through July 2009).
+var Events = []Event{
+	{1, []string{"obama"}, "Actions of B. Obama, new US President since January 2009", TierGlobal, 6, []Episode{
+		{Epicenter: "United States", Start: 8, Length: 40, Peak: 30, ShapeK: 2},    // campaign + presidency
+		{Epicenter: "United States", Start: 20, Length: 24, Peak: 35, ShapeK: 1.5}, // inauguration onward
+	}, nil},
+	{2, []string{"financial", "crisis"}, "Global financial crisis", TierGlobal, 8, []Episode{
+		{Epicenter: "United States", Start: 1, Length: 46, Peak: 32, ShapeK: 1.3},
+		{Epicenter: "United Kingdom", Start: 2, Length: 44, Peak: 25, ShapeK: 1.4},
+	}, nil},
+	{3, []string{"terrorists"}, "Events regarding terrorism", TierGlobal, 6, []Episode{
+		{Epicenter: "India", Start: 12, Length: 10, Peak: 28, ShapeK: 2.5}, // Mumbai, Nov 2008
+		{Epicenter: "Pakistan", Start: 26, Length: 12, Peak: 22, ShapeK: 2},
+		{Epicenter: "United Kingdom", Start: 30, Length: 8, Peak: 15, ShapeK: 2},
+	}, nil},
+	{4, []string{"jackson"}, "Michael Jackson passes away", TierGlobal, 5, []Episode{
+		{Epicenter: "United States", Start: 42, Length: 6, Peak: 45, ShapeK: 3.5}, // June 25, 2009
+	}, []Confuser{{Country: "United Kingdom", Start: 0, Length: 48, Rate: 0.4, FreqBoost: 0.8}}},
+	{5, []string{"swine"}, "2009 swine flu pandemic", TierGlobal, 4, []Episode{
+		{Epicenter: "Mexico", Start: 33, Length: 14, Peak: 40, ShapeK: 2.2}, // April 2009 onward
+	}, nil},
+	{6, []string{"earthquake"}, "Events regarding earthquakes", TierGlobal, 8, []Episode{
+		// Individual quakes travel regionally even though the topic is
+		// global; this is what makes STLocal lock onto a single quake
+		// (Costa Rica, §6.3) while STComb spans them all.
+		{Epicenter: "Costa Rica", Start: 18, Length: 4, Peak: 30, ShapeK: 3, Reach: regional},
+		{Epicenter: "Italy", Start: 31, Length: 5, Peak: 28, ShapeK: 3, Reach: regional},
+		{Epicenter: "China", Start: 4, Length: 4, Peak: 18, ShapeK: 3, Reach: regional},
+		{Epicenter: "Mexico", Start: 38, Length: 3, Peak: 15, ShapeK: 3, Reach: regional},
+		{Epicenter: "Bulgaria", Start: 36, Length: 3, Peak: 12, ShapeK: 3, Reach: regional},
+	}, nil},
+	{7, []string{"gaza"}, "Israeli-Palestinian conflict in the Gaza Strip", TierMajor, 4, []Episode{
+		// The Gaza War was covered essentially worldwide (Table 1: 174
+		// countries in the top STLocal pattern).
+		{Epicenter: "Israel", Start: 16, Length: 8, Peak: 38, ShapeK: 2.5,
+			Reach: &ReachSpec{TauKm: 4000, Floor: 0.55, Pickup: 0.7}},
+	}, nil},
+	{8, []string{"ceasefire"}, "Israel announces a unilateral ceasefire in the Gaza War", TierMajor, 3, []Episode{
+		{Epicenter: "Israel", Start: 19, Length: 4, Peak: 30, ShapeK: 3.5,
+			Reach: &ReachSpec{TauKm: 2000, Floor: 0.03, Pickup: 0.35}},
+	}, []Confuser{{Country: "Sri Lanka", Start: 25, Length: 15, Rate: 0.5, FreqBoost: 0.6}, {Country: "Somalia", Start: 5, Length: 30, Rate: 0.3, FreqBoost: 0.5}}},
+	{9, []string{"yemenia"}, "Yemenia Flight 626 crashes off Moroni, Comoros", TierMajor, 0, []Episode{
+		{Epicenter: "Comoros", Start: 43, Length: 3, Peak: 28, ShapeK: 3.5,
+			Reach: &ReachSpec{TauKm: 1500, Floor: 0.012, Pickup: 0.25}},
+	}, nil},
+	{10, []string{"piracy"}, "Piracy off the Somali coast", TierMajor, 3, []Episode{
+		{Epicenter: "Somalia", Start: 10, Length: 6, Peak: 22, ShapeK: 2,
+			Reach: &ReachSpec{TauKm: 2000, Floor: 0.015, Pickup: 0.3}},
+		{Epicenter: "Somalia", Start: 31, Length: 6, Peak: 26, ShapeK: 2.5,
+			Reach: &ReachSpec{TauKm: 2000, Floor: 0.02, Pickup: 0.35}},
+	}, []Confuser{{Country: "Nigeria", Start: 0, Length: 48, Rate: 0.3, FreqBoost: 0.5}}},
+	{11, []string{"air", "france"}, "Air France Flight 447 crashes into the Atlantic", TierMajor, 2, []Episode{
+		{Epicenter: "France", Start: 39, Length: 4, Peak: 34, ShapeK: 3.5,
+			Reach: &ReachSpec{TauKm: 3000, Floor: 0.05, Pickup: 0.4}},
+		{Epicenter: "Brazil", Start: 39, Length: 4, Peak: 28, ShapeK: 3.5,
+			Reach: &ReachSpec{TauKm: 3000, Floor: 0.03, Pickup: 0.3}},
+	}, nil},
+	{12, []string{"bush", "fires"}, "Deadly bush fires in Australia kill 173", TierMajor, 0.5, []Episode{
+		// Heavy local coverage, thin worldwide echo (Table 1: 3
+		// countries in the top STLocal pattern).
+		{Epicenter: "Australia", Start: 22, Length: 5, Peak: 32, ShapeK: 3,
+			Reach: &ReachSpec{TauKm: 700, Floor: 0.05, Pickup: 0.25}},
+	}, nil},
+	{13, []string{"nkunda"}, "Congolese rebel leader L. Nkunda captured by Rwandan forces", TierLocal, 0, []Episode{
+		{Epicenter: "Rwanda", Start: 20, Length: 4, Peak: 26, ShapeK: 3.5},
+	}, []Confuser{{Country: "DR Congo", Start: 10, Length: 12, Rate: 1.2, FreqBoost: 0.6}, {Country: "Uganda", Start: 10, Length: 12, Rate: 0.6, FreqBoost: 0.6}}},
+	{14, []string{"vieira"}, "President of Guinea-Bissau J. B. Vieira assassinated", TierLocal, 0, []Episode{
+		{Epicenter: "Guinea-Bissau", Start: 26, Length: 4, Peak: 26, ShapeK: 3.5},
+	}, []Confuser{{Country: "France", Start: 0, Length: 48, Rate: 0.5, FreqBoost: 0.8}, {Country: "Brazil", Start: 0, Length: 48, Rate: 0.4, FreqBoost: 0.8}, {Country: "Portugal", Start: 20, Length: 10, Rate: 0.6, FreqBoost: 0.8}}},
+	{15, []string{"tsvangirai"}, "M. Tsvangirai sworn in as Prime Minister of Zimbabwe", TierLocal, 0, []Episode{
+		{Epicenter: "Zimbabwe", Start: 23, Length: 5, Peak: 26, ShapeK: 3},
+	}, []Confuser{{Country: "Zimbabwe", Start: 5, Length: 16, Rate: 1.0, FreqBoost: 0.6}, {Country: "South Africa", Start: 5, Length: 16, Rate: 0.5, FreqBoost: 0.6}}},
+	{16, []string{"rajoelina"}, "Andry Rajoelina becomes President of Madagascar after coup", TierLocal, 0, []Episode{
+		{Epicenter: "Madagascar", Start: 28, Length: 5, Peak: 26, ShapeK: 3},
+	}, []Confuser{{Country: "Madagascar", Start: 22, Length: 6, Rate: 1.0, FreqBoost: 0.6}}},
+	{17, []string{"fujimori"}, "Former Peruvian President Fujimori sentenced to 25 years", TierLocal, 0, []Episode{
+		{Epicenter: "Peru", Start: 31, Length: 4, Peak: 26, ShapeK: 3.5},
+	}, []Confuser{{Country: "Peru", Start: 10, Length: 18, Rate: 0.8, FreqBoost: 0.6}, {Country: "Chile", Start: 12, Length: 10, Rate: 0.3, FreqBoost: 0.6}}},
+	{18, []string{"zelaya"}, "Supreme Court of Honduras orders arrest and exile of President Zelaya", TierLocal, 0, []Episode{
+		{Epicenter: "Honduras", Start: 43, Length: 4, Peak: 30, ShapeK: 3.5},
+	}, []Confuser{{Country: "Honduras", Start: 38, Length: 5, Rate: 0.8, FreqBoost: 0.6}, {Country: "Nicaragua", Start: 38, Length: 5, Rate: 0.3, FreqBoost: 0.6}}},
+}
+
+// defaultReach returns the tier's default coverage decay. Individual
+// episodes override it to reflect how differently real stories travelled
+// (the paper's Table 1 shows gaza reaching 174 countries while bush
+// fires stayed at 3).
+func (t Tier) defaultReach() ReachSpec {
+	switch t {
+	case TierGlobal:
+		return ReachSpec{TauKm: 12000, Floor: 0.6, Pickup: 0.8}
+	case TierMajor:
+		return ReachSpec{TauKm: 2000, Floor: 0.05, Pickup: 0.4}
+	default:
+		return ReachSpec{TauKm: 350, Floor: 0.004, Pickup: 0.2}
+	}
+}
+
+// reach resolves an episode's effective coverage decay.
+func (ep Episode) reach(t Tier) ReachSpec {
+	if ep.Reach != nil {
+		return *ep.Reach
+	}
+	return t.defaultReach()
+}
+
+// regional is the reach of geographically confined episodes of otherwise
+// global stories (individual earthquakes, localized attacks).
+var regional = &ReachSpec{TauKm: 1200, Floor: 0.012, Pickup: 0.3}

@@ -1,0 +1,39 @@
+package gen
+
+import "math"
+
+// Counter-based deterministic randomness. The artificial datasets of the
+// paper reach 128,000 streams × 365 timestamps × 10,000 terms — far too
+// many frequency values to materialize. A splitmix64-style hash of
+// (seed, term, stream, timestamp) yields any background frequency in O(1)
+// with no storage, deterministically for a given seed, which lets the
+// miners stream over the data in any access order.
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hash4 mixes four 64-bit values into one.
+func hash4(a, b, c, d uint64) uint64 {
+	h := mix64(a)
+	h = mix64(h ^ b)
+	h = mix64(h ^ c)
+	h = mix64(h ^ d)
+	return h
+}
+
+// uniform01 maps a hash to a float64 in [0, 1).
+func uniform01(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// expFromHash converts a hash to an exponential variate with the given
+// mean via inverse-CDF sampling.
+func expFromHash(h uint64, mean float64) float64 {
+	u := uniform01(h)
+	return -mean * math.Log(1-u)
+}

@@ -1,0 +1,262 @@
+// Package index provides the inverted index and the Threshold Algorithm
+// (TA) of Fagin, Lotem and Naor (PODS'01 — reference [6] of the paper)
+// used by the bursty-document search engine (§5): each term maps to a
+// posting list sorted by per-term document score, and multi-term top-k
+// queries are answered by TA with sorted and random access and
+// early-termination on the threshold.
+package index
+
+import (
+	"sort"
+)
+
+// Posting is one document's entry in a term's posting list.
+type Posting struct {
+	Doc   int
+	Score float64
+}
+
+// Result is one document in a top-k answer.
+type Result struct {
+	Doc   int
+	Score float64
+}
+
+// MissingPolicy controls how a document absent from some query term's
+// posting list contributes to the aggregate of Eq. 10.
+type MissingPolicy int
+
+const (
+	// MissingExcludes drops documents that are absent from any query
+	// term's list — the strict reading of Eq. 10/11, where burstiness is
+	// -inf without a pattern overlap.
+	MissingExcludes MissingPolicy = iota
+	// MissingZero scores absent terms as zero, ranking documents that
+	// match a subset of the query below full matches but keeping them.
+	MissingZero
+)
+
+// Index is an inverted index over per-term document scores.
+type Index struct {
+	postings  map[int][]Posting
+	random    map[int]map[int]float64
+	finalized bool
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		postings: make(map[int][]Posting),
+		random:   make(map[int]map[int]float64),
+	}
+}
+
+// Add records the score of doc for term. Scores must be non-negative:
+// the Threshold Algorithm's early-termination bound relies on posting
+// scores never increasing the aggregate of a document a list omits.
+// Adding the same (term, doc) pair twice overwrites the previous score.
+// Add must not be called after Finalize.
+func (ix *Index) Add(term, doc int, score float64) {
+	if ix.finalized {
+		panic("index: Add after Finalize")
+	}
+	m, ok := ix.random[term]
+	if !ok {
+		m = make(map[int]float64)
+		ix.random[term] = m
+	}
+	if _, dup := m[doc]; !dup {
+		ix.postings[term] = append(ix.postings[term], Posting{Doc: doc})
+	}
+	m[doc] = score
+}
+
+// Finalize sorts every posting list by descending score (ties by doc ID)
+// and freezes the index. It must be called before querying.
+func (ix *Index) Finalize() {
+	for term, list := range ix.postings {
+		m := ix.random[term]
+		for i := range list {
+			list[i].Score = m[list[i].Doc]
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Score != list[j].Score {
+				return list[i].Score > list[j].Score
+			}
+			return list[i].Doc < list[j].Doc
+		})
+		ix.postings[term] = list
+	}
+	ix.finalized = true
+}
+
+// Terms returns the number of terms with at least one posting.
+func (ix *Index) Terms() int { return len(ix.postings) }
+
+// Postings returns the (finalized) posting list of a term; nil when the
+// term is unknown.
+func (ix *Index) Postings(term int) []Posting { return ix.postings[term] }
+
+// Score returns the per-term score of doc and whether it is present.
+func (ix *Index) Score(term, doc int) (float64, bool) {
+	s, ok := ix.random[term][doc]
+	return s, ok
+}
+
+// TopK answers a multi-term top-k query with the Threshold Algorithm:
+// round-robin sorted access over the query terms' posting lists, random
+// access to complete each newly seen document's aggregate, and
+// termination once the k-th best aggregate reaches the threshold (the sum
+// of the scores at the current sorted-access frontier). Results are
+// sorted by descending aggregate score, ties by doc ID. It panics if the
+// index was not finalized.
+func (ix *Index) TopK(terms []int, k int, policy MissingPolicy) []Result {
+	if !ix.finalized {
+		panic("index: TopK before Finalize")
+	}
+	if k <= 0 {
+		return nil
+	}
+	lists := make([][]Posting, 0, len(terms))
+	qterms := make([]int, 0, len(terms))
+	for _, t := range terms {
+		l := ix.postings[t]
+		if len(l) == 0 {
+			if policy == MissingExcludes {
+				return nil // no document can match every term
+			}
+			continue
+		}
+		lists = append(lists, l)
+		qterms = append(qterms, t)
+	}
+	if len(lists) == 0 {
+		return nil
+	}
+
+	type cand struct {
+		doc   int
+		score float64
+	}
+	seen := make(map[int]bool)
+	var top []cand // maintained sorted descending, at most k entries
+	insert := func(c cand) {
+		pos := sort.Search(len(top), func(i int) bool {
+			if top[i].score != c.score {
+				return top[i].score < c.score
+			}
+			return top[i].doc > c.doc
+		})
+		if pos >= k {
+			return
+		}
+		top = append(top, cand{})
+		copy(top[pos+1:], top[pos:])
+		top[pos] = c
+		if len(top) > k {
+			top = top[:k]
+		}
+	}
+	aggregate := func(doc int) (float64, bool) {
+		var sum float64
+		for _, t := range qterms {
+			s, ok := ix.random[t][doc]
+			if !ok {
+				if policy == MissingExcludes {
+					return 0, false
+				}
+				continue
+			}
+			sum += s
+		}
+		return sum, true
+	}
+
+	depth := 0
+	frontier := make([]float64, len(lists))
+	for {
+		exhausted := true
+		for li, l := range lists {
+			if depth >= len(l) {
+				// Frontier stays at the last (smallest) score.
+				continue
+			}
+			exhausted = false
+			p := l[depth]
+			frontier[li] = p.Score
+			if !seen[p.Doc] {
+				seen[p.Doc] = true
+				if s, ok := aggregate(p.Doc); ok {
+					insert(cand{doc: p.Doc, score: s})
+				}
+			}
+		}
+		if exhausted {
+			break
+		}
+		depth++
+		// Threshold: the aggregate of the last score seen under sorted
+		// access in each list. Any unseen document scores at most the
+		// frontier in every list (scores are required to be
+		// non-negative), so once the k-th best reaches the threshold no
+		// unseen document can displace it.
+		var threshold float64
+		for _, f := range frontier {
+			threshold += f
+		}
+		if len(top) == k && top[k-1].score >= threshold {
+			break
+		}
+	}
+	out := make([]Result, len(top))
+	for i, c := range top {
+		out[i] = Result{Doc: c.doc, Score: c.score}
+	}
+	return out
+}
+
+// TopKNaive answers the same query by exhaustively scoring every
+// candidate document. It is the testing oracle for TopK.
+func (ix *Index) TopKNaive(terms []int, k int, policy MissingPolicy) []Result {
+	if k <= 0 {
+		return nil
+	}
+	docs := make(map[int]bool)
+	for _, t := range terms {
+		for _, p := range ix.postings[t] {
+			docs[p.Doc] = true
+		}
+	}
+	var out []Result
+	for doc := range docs {
+		var sum float64
+		ok := true
+		for _, t := range terms {
+			s, present := ix.random[t][doc]
+			if !present {
+				if policy == MissingExcludes {
+					ok = false
+					break
+				}
+				continue
+			}
+			sum += s
+		}
+		if ok {
+			out = append(out, Result{Doc: doc, Score: sum})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func buildSmall() *Index {
+	ix := New()
+	// term 0: docs 1,2,3 with scores 5,3,1
+	ix.Add(0, 1, 5)
+	ix.Add(0, 2, 3)
+	ix.Add(0, 3, 1)
+	// term 1: docs 2,3,4 with scores 4,2,6
+	ix.Add(1, 2, 4)
+	ix.Add(1, 3, 2)
+	ix.Add(1, 4, 6)
+	ix.Finalize()
+	return ix
+}
+
+func TestTopKSingleTerm(t *testing.T) {
+	ix := buildSmall()
+	got := ix.TopK([]int{0}, 2, MissingExcludes)
+	if len(got) != 2 || got[0].Doc != 1 || got[1].Doc != 2 {
+		t.Fatalf("got %+v, want docs 1,2", got)
+	}
+	if got[0].Score != 5 || got[1].Score != 3 {
+		t.Fatalf("scores %+v", got)
+	}
+}
+
+func TestTopKExcludesPartialMatches(t *testing.T) {
+	ix := buildSmall()
+	got := ix.TopK([]int{0, 1}, 10, MissingExcludes)
+	// Only docs 2 (3+4=7) and 3 (1+2=3) appear in both lists.
+	if len(got) != 2 || got[0].Doc != 2 || got[1].Doc != 3 {
+		t.Fatalf("got %+v, want docs 2,3", got)
+	}
+	if got[0].Score != 7 || got[1].Score != 3 {
+		t.Fatalf("scores %+v", got)
+	}
+}
+
+func TestTopKMissingZeroKeepsPartialMatches(t *testing.T) {
+	ix := buildSmall()
+	got := ix.TopK([]int{0, 1}, 10, MissingZero)
+	// All docs: 1→5, 2→7, 3→3, 4→6.
+	want := []Result{{Doc: 2, Score: 7}, {Doc: 4, Score: 6}, {Doc: 1, Score: 5}, {Doc: 3, Score: 3}}
+	if len(got) != len(want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestTopKUnknownTerm(t *testing.T) {
+	ix := buildSmall()
+	if got := ix.TopK([]int{99}, 5, MissingExcludes); got != nil {
+		t.Fatalf("unknown term: got %v", got)
+	}
+	if got := ix.TopK([]int{0, 99}, 5, MissingExcludes); got != nil {
+		t.Fatalf("conjunctive with unknown term: got %v", got)
+	}
+	// MissingZero ignores the unknown term.
+	got := ix.TopK([]int{0, 99}, 1, MissingZero)
+	if len(got) != 1 || got[0].Doc != 1 {
+		t.Fatalf("got %+v, want doc 1", got)
+	}
+}
+
+func TestTopKZeroK(t *testing.T) {
+	ix := buildSmall()
+	if got := ix.TopK([]int{0}, 0, MissingZero); got != nil {
+		t.Fatalf("k=0: got %v", got)
+	}
+}
+
+func TestTopKPanicsBeforeFinalize(t *testing.T) {
+	ix := New()
+	ix.Add(0, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ix.TopK([]int{0}, 1, MissingZero)
+}
+
+func TestAddPanicsAfterFinalize(t *testing.T) {
+	ix := New()
+	ix.Finalize()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ix.Add(0, 1, 1)
+}
+
+func TestAddOverwrites(t *testing.T) {
+	ix := New()
+	ix.Add(0, 7, 1)
+	ix.Add(0, 7, 9)
+	ix.Finalize()
+	if s, ok := ix.Score(0, 7); !ok || s != 9 {
+		t.Fatalf("Score = (%v,%v), want (9,true)", s, ok)
+	}
+	if len(ix.Postings(0)) != 1 {
+		t.Fatalf("duplicate Add created extra posting: %v", ix.Postings(0))
+	}
+}
+
+func TestPostingsSorted(t *testing.T) {
+	ix := New()
+	ix.Add(0, 1, 2)
+	ix.Add(0, 2, 8)
+	ix.Add(0, 3, 5)
+	ix.Finalize()
+	ps := ix.Postings(0)
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Score > ps[i-1].Score {
+			t.Fatalf("postings unsorted: %v", ps)
+		}
+	}
+	if ix.Terms() != 1 {
+		t.Fatalf("Terms = %d", ix.Terms())
+	}
+}
+
+func TestTopKMatchesNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for iter := 0; iter < 200; iter++ {
+		ix := New()
+		nTerms := 1 + rng.Intn(4)
+		nDocs := 1 + rng.Intn(30)
+		for term := 0; term < nTerms; term++ {
+			for doc := 0; doc < nDocs; doc++ {
+				if rng.Intn(3) == 0 {
+					ix.Add(term, doc, float64(rng.Intn(100))/7)
+				}
+			}
+		}
+		ix.Finalize()
+		var qterms []int
+		for term := 0; term < nTerms; term++ {
+			if rng.Intn(2) == 0 {
+				qterms = append(qterms, term)
+			}
+		}
+		if len(qterms) == 0 {
+			qterms = []int{0}
+		}
+		k := 1 + rng.Intn(8)
+		for _, policy := range []MissingPolicy{MissingExcludes, MissingZero} {
+			got := ix.TopK(qterms, k, policy)
+			want := ix.TopKNaive(qterms, k, policy)
+			if len(got) != len(want) {
+				t.Fatalf("iter %d policy %v: TA %v naive %v", iter, policy, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("iter %d policy %v: TA %v naive %v", iter, policy, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKEarlyTermination(t *testing.T) {
+	// TA must not need to scan whole lists when k=1 and one doc dominates.
+	ix := New()
+	for doc := 0; doc < 1000; doc++ {
+		ix.Add(0, doc, float64(1000-doc))
+		ix.Add(1, doc, float64(1000-doc))
+	}
+	ix.Finalize()
+	got := ix.TopK([]int{0, 1}, 1, MissingExcludes)
+	if len(got) != 1 || got[0].Doc != 0 || got[0].Score != 2000 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func BenchmarkTopKTA(b *testing.B) {
+	rng := rand.New(rand.NewSource(92))
+	ix := New()
+	for term := 0; term < 3; term++ {
+		for doc := 0; doc < 50000; doc++ {
+			if rng.Intn(4) == 0 {
+				ix.Add(term, doc, rng.Float64()*100)
+			}
+		}
+	}
+	ix.Finalize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.TopK([]int{0, 1, 2}, 10, MissingZero)
+	}
+}

@@ -1,0 +1,204 @@
+// Package interval provides closed integer intervals on the timeline,
+// interval-graph utilities, and the maximum-weight clique algorithm for
+// interval graphs (the paper's "maxClique", after Gupta, Lee and Leung,
+// Networks 1982).
+//
+// STComb (§3 of the paper) reduces the Highest-Scoring Subset problem to
+// the Maximum-Weight Clique problem on the intersection graph of the
+// per-stream bursty intervals (Proposition 1). Because intervals on a line
+// have the Helly property (Lemma 1), a clique is exactly a set of intervals
+// sharing a common stab point, so the maximum-weight clique is found by a
+// single sweep over interval endpoints in O(n log n).
+package interval
+
+import "sort"
+
+// Interval is a closed interval [Start, End] of integer timestamps with an
+// associated weight (the temporal burstiness score B_T of the interval) and
+// the index of the document stream it was extracted from.
+type Interval struct {
+	Start  int     // first timestamp covered (inclusive)
+	End    int     // last timestamp covered (inclusive)
+	Weight float64 // burstiness score of the interval
+	Stream int     // index of the originating document stream
+}
+
+// Len returns the number of timestamps covered by the interval.
+func (iv Interval) Len() int { return iv.End - iv.Start + 1 }
+
+// Contains reports whether timestamp t lies inside the closed interval.
+func (iv Interval) Contains(t int) bool { return iv.Start <= t && t <= iv.End }
+
+// Intersects reports whether two closed intervals share at least one
+// timestamp.
+func Intersects(a, b Interval) bool { return a.Start <= b.End && b.Start <= a.End }
+
+// CommonSegment returns the intersection of all intervals in the set and
+// reports whether it is non-empty. It returns (0, 0, false) for an empty
+// set.
+func CommonSegment(set []Interval) (start, end int, ok bool) {
+	if len(set) == 0 {
+		return 0, 0, false
+	}
+	start, end = set[0].Start, set[0].End
+	for _, iv := range set[1:] {
+		if iv.Start > start {
+			start = iv.Start
+		}
+		if iv.End < end {
+			end = iv.End
+		}
+	}
+	return start, end, start <= end
+}
+
+// PairwiseIntersect reports whether every pair of intervals in the set
+// intersects. By Lemma 1 of the paper (the Helly property in one
+// dimension), this holds iff the whole set has a non-empty common segment;
+// both predicates are exposed so the equivalence can be verified.
+func PairwiseIntersect(set []Interval) bool {
+	for i := range set {
+		for j := i + 1; j < len(set); j++ {
+			if !Intersects(set[i], set[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clique is a set of mutually intersecting intervals: a combinatorial
+// spatiotemporal pattern before stream metadata is attached. Start and End
+// delimit the common segment of all members and Weight is the sum of the
+// member weights (Eq. 3 of the paper).
+type Clique struct {
+	Members []Interval
+	Start   int
+	End     int
+	Weight  float64
+}
+
+// MaxWeightClique returns the maximum-weight clique of the intersection
+// graph of the given intervals, in O(n log n) time, and reports whether any
+// clique exists (false only for an empty input). The clique is realized as
+// the set of intervals covering the best stab point; among equal-weight
+// stab points the earliest is chosen, so the result is deterministic.
+//
+// Interval weights must be positive (temporal burstiness scores always
+// are): with positive weights the heaviest clique is exactly the full set
+// of intervals covering the heaviest stab point, which is what the sweep
+// computes.
+func MaxWeightClique(intervals []Interval) (Clique, bool) {
+	if len(intervals) == 0 {
+		return Clique{}, false
+	}
+	// Sweep events: weight enters at Start, leaves after End.
+	type event struct {
+		pos   int
+		delta float64
+	}
+	events := make([]event, 0, 2*len(intervals))
+	for _, iv := range intervals {
+		events = append(events, event{iv.Start, iv.Weight}, event{iv.End + 1, -iv.Weight})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].pos != events[j].pos {
+			return events[i].pos < events[j].pos
+		}
+		// Removals before additions at the same coordinate never happen
+		// for distinct roles (removal is at End+1), but keep ordering
+		// stable for equal positions by applying additions first so the
+		// running sum at pos includes all intervals covering pos.
+		return events[i].delta > events[j].delta
+	})
+	var (
+		cur      float64
+		best     float64
+		bestPos  int
+		haveBest bool
+	)
+	for k := 0; k < len(events); {
+		pos := events[k].pos
+		for k < len(events) && events[k].pos == pos {
+			cur += events[k].delta
+			k++
+		}
+		if !haveBest || cur > best {
+			best, bestPos, haveBest = cur, pos, true
+		}
+	}
+	members := make([]Interval, 0, 4)
+	for _, iv := range intervals {
+		if iv.Contains(bestPos) {
+			members = append(members, iv)
+		}
+	}
+	start, end, _ := CommonSegment(members)
+	return Clique{Members: members, Start: start, End: end, Weight: best}, true
+}
+
+// TopCliques iteratively applies MaxWeightClique, each time removing the
+// intervals of the reported clique, exactly as §3 of the paper obtains
+// multiple non-overlapping combinatorial patterns. Extraction stops after
+// k cliques (k <= 0 means no limit), when no intervals remain, or when the
+// best remaining clique has non-positive weight.
+func TopCliques(intervals []Interval, k int) []Clique {
+	remaining := make([]Interval, len(intervals))
+	copy(remaining, intervals)
+	var out []Clique
+	for len(remaining) > 0 && (k <= 0 || len(out) < k) {
+		c, ok := MaxWeightClique(remaining)
+		if !ok || c.Weight <= 0 {
+			break
+		}
+		out = append(out, c)
+		taken := make(map[Interval]int, len(c.Members))
+		for _, m := range c.Members {
+			taken[m]++
+		}
+		next := remaining[:0]
+		for _, iv := range remaining {
+			if n := taken[iv]; n > 0 {
+				taken[iv] = n - 1
+				continue
+			}
+			next = append(next, iv)
+		}
+		remaining = next
+	}
+	return out
+}
+
+// MaxWeightCliqueBrute solves the maximum-weight clique problem by
+// exhaustive subset enumeration. It exists as a testing oracle for
+// MaxWeightClique and must only be used with small inputs.
+func MaxWeightCliqueBrute(intervals []Interval) (Clique, bool) {
+	n := len(intervals)
+	if n == 0 {
+		return Clique{}, false
+	}
+	if n > 20 {
+		panic("interval: MaxWeightCliqueBrute input too large")
+	}
+	var best Clique
+	found := false
+	for mask := 1; mask < 1<<n; mask++ {
+		var set []Interval
+		var w float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				set = append(set, intervals[i])
+				w += intervals[i].Weight
+			}
+		}
+		if !PairwiseIntersect(set) {
+			continue
+		}
+		if !found || w > best.Weight {
+			start, end, _ := CommonSegment(set)
+			best = Clique{Members: set, Start: start, End: end, Weight: w}
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,202 @@
+// Package search implements the bursty-document search engine of §5 of
+// the paper: documents are scored per query term as relevance × burstiness
+// (Eq. 10), where relevance is log(freq(t,d)+1) — the choice the paper
+// found to work best — and burstiness is the maximum score of the mined
+// spatiotemporal patterns of t that the document overlaps (Eq. 11, again
+// the paper's best-performing aggregate f). Top-k retrieval runs on an
+// inverted index via the Threshold Algorithm.
+//
+// An Engine is built against one pattern type at a time (the paper:
+// "a separate instance is required for each type"): regional windows
+// (STLocal), combinatorial patterns (STComb), or purely temporal bursty
+// intervals with all streams merged (the TB comparison engine of §6.3).
+package search
+
+import (
+	"math"
+	"strings"
+
+	"stburst/internal/burst"
+	"stburst/internal/core"
+	"stburst/internal/index"
+	"stburst/internal/stream"
+	"stburst/internal/textproc"
+)
+
+// Burstiness returns f(P_{t,d}) for a document from the given stream at
+// the given timestamp, and whether any pattern of the term overlaps it
+// (Eq. 11: no overlap means burstiness -inf, i.e. the document does not
+// participate for this term).
+type Burstiness func(term, streamIdx, time int) (float64, bool)
+
+// Engine is a bursty-document search engine over one collection and one
+// pattern type.
+type Engine struct {
+	col *stream.Collection
+	idx *index.Index
+	tok *textproc.Tokenizer
+}
+
+// Result is one retrieved document.
+type Result struct {
+	Doc   int
+	Score float64
+}
+
+// Build indexes the collection: for every term and every document
+// containing it, the per-term score relevance × burstiness is added when
+// the document overlaps at least one pattern of the term.
+func Build(col *stream.Collection, b Burstiness) *Engine {
+	ix := index.New()
+	for _, term := range col.Terms() {
+		ids, freqs := col.TermDocs(term)
+		for i, docID := range ids {
+			d := col.Doc(docID)
+			bs, ok := b(term, d.Stream, d.Time)
+			if !ok || bs <= 0 {
+				continue
+			}
+			rel := math.Log(float64(freqs[i]) + 1)
+			ix.Add(term, docID, rel*bs)
+		}
+	}
+	ix.Finalize()
+	return &Engine{col: col, idx: ix, tok: textproc.NewTokenizer()}
+}
+
+// Query retrieves the top-k documents for a whitespace-separated query
+// string (terms are tokenized with the default pipeline, mirroring the
+// indexing side).
+func (e *Engine) Query(q string, k int) []Result {
+	terms := e.tok.Tokenize(strings.ToLower(q))
+	ids := make([]int, 0, len(terms))
+	for _, t := range terms {
+		id, ok := e.col.Dict().Lookup(t)
+		if !ok {
+			return nil // Eq. 10: a term with no patterns/documents zeroes the query
+		}
+		ids = append(ids, id)
+	}
+	return e.QueryTerms(ids, k)
+}
+
+// QueryTerms retrieves the top-k documents for pre-interned term IDs.
+func (e *Engine) QueryTerms(terms []int, k int) []Result {
+	if len(terms) == 0 {
+		return nil
+	}
+	rs := e.idx.TopK(terms, k, index.MissingExcludes)
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = Result{Doc: r.Doc, Score: r.Score}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Index exposes the underlying inverted index (for diagnostics/tests).
+func (e *Engine) Index() *index.Index { return e.idx }
+
+// WindowBurstiness adapts per-term STLocal windows to the engine:
+// burstiness(d, t) is the maximum w-score over the windows of t whose
+// region contains d's stream and whose timeframe contains d's timestamp.
+func WindowBurstiness(byTerm map[int][]core.Window) Burstiness {
+	return func(term, streamIdx, time int) (float64, bool) {
+		best := math.Inf(-1)
+		found := false
+		for _, w := range byTerm[term] {
+			if w.Overlaps(streamIdx, time) && (!found || w.Score > best) {
+				best = w.Score
+				found = true
+			}
+		}
+		return best, found
+	}
+}
+
+// CombBurstiness adapts per-term STComb patterns to the engine. A
+// document overlaps a pattern through its own stream's contributing
+// interval (see core.CombPattern.OverlapsMember): large cliques can have
+// single-timestamp common segments, but every member document inside its
+// stream's burst belongs to the pattern.
+func CombBurstiness(byTerm map[int][]core.CombPattern) Burstiness {
+	return func(term, streamIdx, time int) (float64, bool) {
+		best := math.Inf(-1)
+		found := false
+		for _, p := range byTerm[term] {
+			if p.OverlapsMember(streamIdx, time) && (!found || p.Score > best) {
+				best = p.Score
+				found = true
+			}
+		}
+		return best, found
+	}
+}
+
+// TemporalBurstiness adapts per-term temporal bursty intervals (mined on
+// the merged stream) to the engine: the TB comparison system of §6.3,
+// which disregards the document's stream of origin.
+func TemporalBurstiness(byTerm map[int][]burst.Interval) Burstiness {
+	return func(term, _ /* stream */, time int) (float64, bool) {
+		best := math.Inf(-1)
+		found := false
+		for _, iv := range byTerm[term] {
+			if time >= iv.Start && time <= iv.End && (!found || iv.Score > best) {
+				best = iv.Score
+				found = true
+			}
+		}
+		return best, found
+	}
+}
+
+// MineWindows runs STLocal over every term of the collection and returns
+// the per-term maximal windows — the pattern side of an STLocal engine.
+func MineWindows(col *stream.Collection, opts core.STLocalOptions) map[int][]core.Window {
+	points := col.Points()
+	out := make(map[int][]core.Window)
+	for _, term := range col.Terms() {
+		ws, err := core.MineLocal(col.Surface(term), points, opts)
+		if err != nil {
+			// Surfaces are always well-formed here; an error indicates a
+			// programming bug, not bad input.
+			panic(err)
+		}
+		if len(ws) > 0 {
+			out[term] = ws
+		}
+	}
+	return out
+}
+
+// MineCombPatterns runs STComb over every term of the collection and
+// returns the per-term combinatorial patterns.
+func MineCombPatterns(col *stream.Collection, opts core.STCombOptions) map[int][]core.CombPattern {
+	out := make(map[int][]core.CombPattern)
+	for _, term := range col.Terms() {
+		ps := core.STComb(col.Surface(term), opts)
+		if len(ps) > 0 {
+			out[term] = ps
+		}
+	}
+	return out
+}
+
+// MineTemporal extracts per-term temporal bursty intervals over the
+// merged stream with the given detector (nil uses the discrepancy
+// default) — the pattern side of a TB engine.
+func MineTemporal(col *stream.Collection, det burst.Detector) map[int][]burst.Interval {
+	if det == nil {
+		det = burst.Discrepancy{}
+	}
+	out := make(map[int][]burst.Interval)
+	for _, term := range col.Terms() {
+		ivs := det.Detect(col.MergedSeries(term))
+		if len(ivs) > 0 {
+			out[term] = ivs
+		}
+	}
+	return out
+}

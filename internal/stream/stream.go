@@ -1,0 +1,221 @@
+// Package stream models spatiotemporal document collections: a set of
+// document streams D = {D_1[·], ..., D_n[·]}, each fixed at a geographic
+// location (its geostamp), receiving sets of documents at discrete
+// timestamps (§2 of the paper). It provides the term dictionary, the
+// per-term frequency surfaces D_x[i][t] (Eq. 6) consumed by the pattern
+// miners, and the merged single-stream view used by the temporal-only TB
+// baseline.
+package stream
+
+import (
+	"fmt"
+
+	"stburst/internal/geo"
+)
+
+// Info describes one document stream: a named, fixed geostamp.
+type Info struct {
+	Name     string     // e.g. a country or city name
+	Location geo.Point  // projected position on the 2-D map
+	Geo      geo.LatLon // original geographic coordinate, if known
+}
+
+// Document is one geostamped, timestamped document. Counts maps interned
+// term IDs to their within-document frequency freq(t, d).
+type Document struct {
+	ID     int
+	Stream int // index into the collection's stream list
+	Time   int // timestamp index in [0, Length)
+	Counts map[int]int
+}
+
+// Dictionary interns terms to dense integer IDs.
+type Dictionary struct {
+	ids   map[string]int
+	terms []string
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{ids: make(map[string]int)}
+}
+
+// ID interns term and returns its dense ID.
+func (d *Dictionary) ID(term string) int {
+	if id, ok := d.ids[term]; ok {
+		return id
+	}
+	id := len(d.terms)
+	d.ids[term] = id
+	d.terms = append(d.terms, term)
+	return id
+}
+
+// Lookup returns the ID of term without interning, and whether it exists.
+func (d *Dictionary) Lookup(term string) (int, bool) {
+	id, ok := d.ids[term]
+	return id, ok
+}
+
+// Term returns the string for an ID; it panics on an unknown ID.
+func (d *Dictionary) Term(id int) string { return d.terms[id] }
+
+// Len returns the number of interned terms.
+func (d *Dictionary) Len() int { return len(d.terms) }
+
+// posting records one (document, stream, time, count) occurrence of a
+// term. Fields are packed: corpora at the paper's scale (305k articles,
+// ~9M postings) stay in tens of megabytes.
+type posting struct {
+	doc    int32
+	stream int32
+	time   int32
+	count  int32
+}
+
+// Collection is a spatiotemporal document collection: n streams observed
+// over a timeline of Length discrete timestamps.
+type Collection struct {
+	streams      []Info
+	length       int
+	dict         *Dictionary
+	docs         []Document
+	postings     map[int][]posting // term ID -> occurrences
+	retainCounts bool
+}
+
+// NewCollection creates an empty collection over the given streams and
+// timeline length.
+func NewCollection(streams []Info, length int) *Collection {
+	return &Collection{
+		streams:      streams,
+		length:       length,
+		dict:         NewDictionary(),
+		postings:     make(map[int][]posting),
+		retainCounts: true,
+	}
+}
+
+// SetRetainCounts controls whether documents keep their per-term count
+// maps after indexing (default true). Large corpus builders disable it:
+// every consumer in this repository reads term frequencies through the
+// posting lists, and dropping the per-document maps cuts memory by an
+// order of magnitude at the 305k-article scale.
+func (c *Collection) SetRetainCounts(retain bool) { c.retainCounts = retain }
+
+// NumStreams returns the number of document streams.
+func (c *Collection) NumStreams() int { return len(c.streams) }
+
+// Length returns the timeline length (number of timestamps).
+func (c *Collection) Length() int { return c.length }
+
+// Stream returns the description of stream x.
+func (c *Collection) Stream(x int) Info { return c.streams[x] }
+
+// Points returns the projected 2-D locations of all streams, indexed by
+// stream.
+func (c *Collection) Points() []geo.Point {
+	pts := make([]geo.Point, len(c.streams))
+	for i, s := range c.streams {
+		pts[i] = s.Location
+	}
+	return pts
+}
+
+// Dict returns the collection's term dictionary.
+func (c *Collection) Dict() *Dictionary { return c.dict }
+
+// NumDocs returns the number of documents added so far.
+func (c *Collection) NumDocs() int { return len(c.docs) }
+
+// Doc returns document id (IDs are assigned densely by AddTokens/AddCounts
+// in insertion order).
+func (c *Collection) Doc(id int) Document { return c.docs[id] }
+
+// AddTokens adds a document given its token list, interning terms through
+// the collection dictionary, and returns the assigned document ID.
+func (c *Collection) AddTokens(streamIdx, time int, tokens []string) (int, error) {
+	counts := make(map[int]int, len(tokens))
+	for _, tok := range tokens {
+		counts[c.dict.ID(tok)]++
+	}
+	return c.AddCounts(streamIdx, time, counts)
+}
+
+// AddCounts adds a document given pre-interned term counts and returns the
+// assigned document ID.
+func (c *Collection) AddCounts(streamIdx, time int, counts map[int]int) (int, error) {
+	if streamIdx < 0 || streamIdx >= len(c.streams) {
+		return 0, fmt.Errorf("stream: document stream %d out of range [0,%d)", streamIdx, len(c.streams))
+	}
+	if time < 0 || time >= c.length {
+		return 0, fmt.Errorf("stream: document time %d out of range [0,%d)", time, c.length)
+	}
+	id := len(c.docs)
+	doc := Document{ID: id, Stream: streamIdx, Time: time}
+	if c.retainCounts {
+		doc.Counts = counts
+	}
+	c.docs = append(c.docs, doc)
+	for term, n := range counts {
+		c.postings[term] = append(c.postings[term], posting{
+			doc:    int32(id),
+			stream: int32(streamIdx),
+			time:   int32(time),
+			count:  int32(n),
+		})
+	}
+	return id, nil
+}
+
+// Terms returns the IDs of all terms that occur in the collection, in
+// unspecified order.
+func (c *Collection) Terms() []int {
+	out := make([]int, 0, len(c.postings))
+	for t := range c.postings {
+		out = append(out, t)
+	}
+	return out
+}
+
+// DocFreq returns the number of documents containing the term.
+func (c *Collection) DocFreq(term int) int { return len(c.postings[term]) }
+
+// Surface returns the dense frequency surface of a term:
+// surface[x][i] = D_x[i][t], the total frequency of the term in the
+// documents of stream x at timestamp i (Eq. 6 of the paper).
+func (c *Collection) Surface(term int) [][]float64 {
+	surface := make([][]float64, len(c.streams))
+	flat := make([]float64, len(c.streams)*c.length)
+	for x := range surface {
+		surface[x], flat = flat[:c.length], flat[c.length:]
+	}
+	for _, p := range c.postings[term] {
+		surface[p.stream][p.time] += float64(p.count)
+	}
+	return surface
+}
+
+// MergedSeries returns the term's frequency series with all streams merged
+// into one, as consumed by the temporal-only TB baseline (§6.3: "the
+// streams from the various countries were merged to a single stream").
+func (c *Collection) MergedSeries(term int) []float64 {
+	series := make([]float64, c.length)
+	for _, p := range c.postings[term] {
+		series[p.time] += float64(p.count)
+	}
+	return series
+}
+
+// TermDocs returns the IDs of all documents containing the term together
+// with freq(term, d), in insertion order.
+func (c *Collection) TermDocs(term int) (ids []int, freqs []int) {
+	ps := c.postings[term]
+	ids = make([]int, len(ps))
+	freqs = make([]int, len(ps))
+	for i, p := range ps {
+		ids[i] = int(p.doc)
+		freqs[i] = int(p.count)
+	}
+	return ids, freqs
+}

@@ -1,0 +1,111 @@
+// Package textproc provides the tokenization pipeline used to turn raw
+// document text into the term streams consumed by the burstiness miners:
+// Unicode-aware word splitting, case folding, and stopword removal.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// DefaultStopwords is a compact English stopword list suitable for news
+// text. Callers needing custom behaviour can construct a Tokenizer with
+// their own list.
+var DefaultStopwords = []string{
+	"a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from",
+	"had", "has", "have", "he", "her", "his", "i", "in", "is", "it", "its",
+	"may", "more", "not", "of", "on", "or", "she", "that", "the", "their",
+	"they", "this", "to", "was", "were", "which", "will", "with", "would",
+}
+
+// Tokenizer splits text into normalized terms.
+type Tokenizer struct {
+	stop    map[string]struct{}
+	minLen  int
+	maxLen  int
+	keepNum bool
+}
+
+// Option configures a Tokenizer.
+type Option func(*Tokenizer)
+
+// WithStopwords replaces the stopword list.
+func WithStopwords(words []string) Option {
+	return func(t *Tokenizer) {
+		t.stop = make(map[string]struct{}, len(words))
+		for _, w := range words {
+			t.stop[strings.ToLower(w)] = struct{}{}
+		}
+	}
+}
+
+// WithMinLen drops tokens shorter than n runes (default 2).
+func WithMinLen(n int) Option { return func(t *Tokenizer) { t.minLen = n } }
+
+// WithMaxLen drops tokens longer than n runes (default 40).
+func WithMaxLen(n int) Option { return func(t *Tokenizer) { t.maxLen = n } }
+
+// WithNumbers keeps purely numeric tokens (dropped by default).
+func WithNumbers() Option { return func(t *Tokenizer) { t.keepNum = true } }
+
+// NewTokenizer builds a tokenizer with the default configuration modified
+// by opts.
+func NewTokenizer(opts ...Option) *Tokenizer {
+	t := &Tokenizer{minLen: 2, maxLen: 40}
+	WithStopwords(DefaultStopwords)(t)
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Tokenize splits text into lowercase terms, dropping stopwords, tokens
+// outside the configured length bounds, and (unless WithNumbers) purely
+// numeric tokens. Splitting happens at any rune that is neither a letter
+// nor a digit, except that single apostrophes and hyphens inside a word
+// are removed rather than treated as separators ("mid-scale" → "midscale").
+func (t *Tokenizer) Tokenize(text string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		tok := b.String()
+		b.Reset()
+		n := len([]rune(tok))
+		if n < t.minLen || n > t.maxLen {
+			return
+		}
+		if _, bad := t.stop[tok]; bad {
+			return
+		}
+		if !t.keepNum && isNumeric(tok) {
+			return
+		}
+		out = append(out, tok)
+	}
+	runes := []rune(text)
+	for i, r := range runes {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case (r == '\'' || r == '-') && b.Len() > 0 && i+1 < len(runes) &&
+			(unicode.IsLetter(runes[i+1]) || unicode.IsDigit(runes[i+1])):
+			// Interior apostrophe/hyphen: join the two halves.
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+func isNumeric(s string) bool {
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -1,0 +1,99 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	tk := NewTokenizer()
+	got := tk.Tokenize("The earthquake struck Costa Rica on Thursday.")
+	want := []string{"earthquake", "struck", "costa", "rica", "thursday"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	tk := NewTokenizer()
+	if got := tk.Tokenize(""); got != nil {
+		t.Fatalf("empty text: got %v", got)
+	}
+	if got := tk.Tokenize("   \t\n "); got != nil {
+		t.Fatalf("whitespace: got %v", got)
+	}
+}
+
+func TestTokenizeStopwords(t *testing.T) {
+	tk := NewTokenizer()
+	got := tk.Tokenize("the and of with")
+	if got != nil {
+		t.Fatalf("all-stopword text: got %v", got)
+	}
+}
+
+func TestTokenizeCustomStopwords(t *testing.T) {
+	tk := NewTokenizer(WithStopwords([]string{"quake"}))
+	got := tk.Tokenize("the quake hit")
+	want := []string{"the", "hit"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeHyphenAndApostrophe(t *testing.T) {
+	tk := NewTokenizer()
+	got := tk.Tokenize("medium-scale quake; Zimbabwe's PM")
+	want := []string{"mediumscale", "quake", "zimbabwes", "pm"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeTrailingHyphen(t *testing.T) {
+	tk := NewTokenizer()
+	got := tk.Tokenize("broken- word")
+	want := []string{"broken", "word"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	plain := NewTokenizer()
+	if got := plain.Tokenize("2009 earthquake 7"); !reflect.DeepEqual(got, []string{"earthquake"}) {
+		t.Fatalf("numbers should drop: got %v", got)
+	}
+	nums := NewTokenizer(WithNumbers())
+	want := []string{"2009", "earthquake"}
+	if got := nums.Tokenize("2009 earthquake 7"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("WithNumbers: got %v, want %v (single digit below min length)", got, want)
+	}
+}
+
+func TestTokenizeMinMaxLen(t *testing.T) {
+	tk := NewTokenizer(WithMinLen(4), WithMaxLen(6))
+	got := tk.Tokenize("go gaza ceasefire quake")
+	want := []string{"gaza", "quake"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	tk := NewTokenizer()
+	got := tk.Tokenize("São Paulo: 地震 reported")
+	want := []string{"são", "paulo", "地震", "reported"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeCaseFolding(t *testing.T) {
+	tk := NewTokenizer()
+	got := tk.Tokenize("OBAMA Obama obama")
+	want := []string{"obama", "obama", "obama"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,66 @@
+package stburst
+
+import (
+	"stburst/internal/core"
+	"stburst/internal/search"
+)
+
+// Hit is one retrieved document with its aggregate score (Eq. 10 of the
+// paper: Σ_t relevance × burstiness).
+type Hit struct {
+	Doc    Document
+	Score  float64
+	Stream string // name of the originating stream
+}
+
+// Engine is a bursty-document search engine (§5 of the paper): it
+// retrieves documents that are both relevant to the query and inside
+// mined spatiotemporal burstiness patterns. Build one engine per pattern
+// type with NewRegionalEngine, NewCombinatorialEngine or
+// NewTemporalEngine.
+type Engine struct {
+	c   *Collection
+	eng *search.Engine
+}
+
+// NewRegionalEngine builds a search engine over STLocal regional
+// patterns, mining every term of the collection. A nil opts uses the
+// paper's defaults.
+func NewRegionalEngine(c *Collection, opts *RegionalOptions) *Engine {
+	windows := search.MineWindows(c.col, opts.coreOptions())
+	return &Engine{c: c, eng: search.Build(c.col, search.WindowBurstiness(windows))}
+}
+
+// NewCombinatorialEngine builds a search engine over STComb combinatorial
+// patterns, mining every term of the collection. A nil opts uses the
+// paper's defaults.
+func NewCombinatorialEngine(c *Collection, opts *CombinatorialOptions) *Engine {
+	patterns := search.MineCombPatterns(c.col, opts.coreOptions())
+	return &Engine{c: c, eng: search.Build(c.col, search.CombBurstiness(patterns))}
+}
+
+// NewTemporalEngine builds the temporal-only comparison engine (the TB
+// system of §6.3): burstiness is mined on the merged stream and the
+// documents' origins are disregarded.
+func NewTemporalEngine(c *Collection) *Engine {
+	temporal := search.MineTemporal(c.col, nil)
+	return &Engine{c: c, eng: search.Build(c.col, search.TemporalBurstiness(temporal))}
+}
+
+// Search retrieves the top-k documents for a free-text query. Documents
+// must overlap a burstiness pattern of every query term (Eq. 10/11).
+func (e *Engine) Search(query string, k int) []Hit {
+	rs := e.eng.Query(query, k)
+	out := make([]Hit, len(rs))
+	for i, r := range rs {
+		d := e.c.Doc(r.Doc)
+		out[i] = Hit{Doc: d, Score: r.Score, Stream: e.c.Stream(d.Stream).Name}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Best returns the highest-scoring regional pattern of a slice, if any.
+func Best(ws []RegionalPattern) (RegionalPattern, bool) { return core.BestWindow(ws) }
