@@ -1,0 +1,31 @@
+# Tier-1 verification plus the race/determinism and benchmark suites.
+#
+#   make            # build + full tests (tier-1)
+#   make test-short # seconds-fast subset (heavy corpus reproductions skipped)
+#   make race       # concurrency suite under the race detector
+#   make bench      # all benchmarks, including the MineAll speedup pair
+#   make verify     # tier-1 + race: what CI should run
+
+GO ?= go
+
+.PHONY: all build test test-short race bench verify
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+test-short: build
+	$(GO) test -short ./...
+
+race: build
+	$(GO) test -race -short ./...
+	$(GO) test -race -run 'TestMineAll|TestConcurrent|TestSearchAnswers|TestPatternIndex' .
+
+bench: build
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+verify: test race

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"stburst/internal/exp"
@@ -29,6 +30,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		articles = flag.Float64("articles", 0, "mean background articles per country-week (0 = default; 35 matches the paper's 305k)")
 		vocab    = flag.Int("vocab", 0, "background vocabulary size (0 = default)")
+		parallel = flag.Int("parallel", 0, "corpus-mining workers (<1 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -46,9 +48,10 @@ func main() {
 	var lab *exp.Lab
 	if needLab {
 		start := time.Now()
-		fmt.Fprintf(os.Stderr, "generating Topix-like corpus (seed %d) and mining all pattern sets...\n", *seed)
+		fmt.Fprintf(os.Stderr, "generating Topix-like corpus (seed %d) and mining all pattern sets (%s)...\n",
+			*seed, workersLabel(*parallel))
 		var err error
-		lab, err = exp.NewLab(cfg)
+		lab, err = exp.NewLabPar(cfg, *parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stbench:", err)
 			os.Exit(1)
@@ -69,6 +72,7 @@ func main() {
 			if *full {
 				c = exp.FullTable2
 			}
+			c.Workers = *parallel
 			fmt.Println(exp.FormatTable2(exp.Table2(c)))
 		case "table3":
 			fmt.Println("== Table 3: Precision in top-10 documents ==")
@@ -112,4 +116,14 @@ func main() {
 		return
 	}
 	run(*which)
+}
+
+func workersLabel(parallel int) string {
+	if parallel == 1 {
+		return "sequential"
+	}
+	if parallel < 1 {
+		return fmt.Sprintf("%d workers", runtime.GOMAXPROCS(0))
+	}
+	return fmt.Sprintf("%d workers", parallel)
 }

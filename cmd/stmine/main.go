@@ -6,6 +6,12 @@
 //	stgen -kind topix > corpus.jsonl
 //	stmine -term earthquake -method stlocal < corpus.jsonl
 //	stmine -term fujimori   -method stcomb  -k 5 < corpus.jsonl
+//	stmine -all -method stlocal -parallel 8 < corpus.jsonl
+//
+// With -all, the entire corpus vocabulary is mined concurrently across a
+// bounded worker pool (-parallel workers, default one per CPU) and the
+// top-k patterns corpus-wide are printed together with their terms; the
+// output is identical for every worker count.
 //
 // Streams are projected onto the 2-D plane with multidimensional scaling
 // over their pairwise geographic distances, as in §6.1 of the paper.
@@ -15,21 +21,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
 	"stburst/internal/core"
 	"stburst/internal/corpusio"
+	"stburst/internal/search"
 	"stburst/internal/stream"
 )
 
 func main() {
 	var (
-		term   = flag.String("term", "", "term to mine (required)")
-		method = flag.String("method", "stlocal", "miner: stlocal or stcomb")
-		k      = flag.Int("k", 5, "number of patterns to print")
+		term     = flag.String("term", "", "term to mine (required unless -all)")
+		all      = flag.Bool("all", false, "mine every term of the corpus")
+		method   = flag.String("method", "stlocal", "miner: stlocal or stcomb")
+		k        = flag.Int("k", 5, "number of patterns to print")
+		parallel = flag.Int("parallel", 0, "mining workers for -all (<1 = one per CPU)")
 	)
 	flag.Parse()
-	if *term == "" {
-		fmt.Fprintln(os.Stderr, "stmine: -term is required")
+	if *term == "" && !*all {
+		fmt.Fprintln(os.Stderr, "stmine: -term is required (or pass -all)")
 		os.Exit(2)
 	}
 
@@ -37,6 +48,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stmine:", err)
 		os.Exit(1)
+	}
+	if *all {
+		mineAll(col, *method, *k, *parallel)
+		return
 	}
 	id, ok := col.Dict().Lookup(*term)
 	if !ok {
@@ -67,6 +82,71 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "stmine: unknown method %q\n", *method)
 		os.Exit(2)
+	}
+}
+
+// mineAll runs the corpus-wide batch miner and prints the top-k patterns
+// across all terms, by descending score with deterministic tie-breaks.
+// Only the k survivors are formatted: per-term pattern slices are already
+// deterministically ordered, so (score, term, position) is a total order.
+func mineAll(col *stream.Collection, method string, k, parallel int) {
+	type scored struct {
+		term  int
+		idx   int // position within the term's pattern slice
+		score float64
+	}
+	var format func(s scored) string
+	start := time.Now()
+	var top []scored
+	var patterns int
+	switch method {
+	case "stlocal":
+		byTerm := search.MineWindowsPar(col, core.STLocalOptions{}, parallel)
+		for term, ws := range byTerm {
+			patterns += len(ws)
+			for i, w := range ws {
+				top = append(top, scored{term, i, w.Score})
+			}
+		}
+		format = func(s scored) string {
+			w := byTerm[s.term][s.idx]
+			return fmt.Sprintf("w-score %.3f  weeks [%d,%d]  region %v  %d streams: %s",
+				w.Score, w.Start, w.End, w.Rect, len(w.Streams), names(col, w.Streams, 6))
+		}
+	case "stcomb":
+		byTerm := search.MineCombPatternsPar(col, core.STCombOptions{}, parallel)
+		for term, ps := range byTerm {
+			patterns += len(ps)
+			for i, p := range ps {
+				top = append(top, scored{term, i, p.Score})
+			}
+		}
+		format = func(s scored) string {
+			p := byTerm[s.term][s.idx]
+			return fmt.Sprintf("score %.3f  weeks [%d,%d]  %d streams: %s",
+				p.Score, p.Start, p.End, len(p.Streams), names(col, p.Streams, 6))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "stmine: unknown method %q\n", method)
+		os.Exit(2)
+	}
+	elapsed := time.Since(start)
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].score != top[j].score {
+			return top[i].score > top[j].score
+		}
+		if top[i].term != top[j].term {
+			return top[i].term < top[j].term
+		}
+		return top[i].idx < top[j].idx
+	})
+	fmt.Fprintf(os.Stderr, "stmine: mined %d terms, %d patterns in %v\n",
+		col.Dict().Len(), patterns, elapsed.Round(time.Millisecond))
+	if len(top) > k {
+		top = top[:k]
+	}
+	for i, s := range top {
+		fmt.Printf("#%d  %-18s %s\n", i+1, col.Dict().Term(s.term), format(s))
 	}
 }
 

@@ -35,7 +35,20 @@
 //	engine := stburst.NewRegionalEngine(c, nil)
 //	hits := engine.Search("earthquake", 10)
 //
-// See the examples directory for runnable end-to-end programs, DESIGN.md
-// for the system inventory, and EXPERIMENTS.md for the reproduction of
-// every table and figure in the paper's evaluation.
+// # Corpus-wide batch mining
+//
+// Mining term by term does not scale to whole vocabularies. The batch
+// miners fan the corpus out across a bounded worker pool (parallelism
+// < 1 uses one worker per CPU; any worker count yields bit-identical
+// output) and return a PatternIndex — a cached, query-ready store that
+// answers pattern lookups and repeated searches without ever re-mining:
+//
+//	ix := c.MineAllRegional(nil, 0) // one worker per CPU
+//	top := ix.RegionalPatterns("earthquake")
+//	hits := ix.Search("earthquake rescue", 10) // engine built once, cached
+//
+// See the examples directory for runnable end-to-end programs and
+// DESIGN.md for the system inventory and the concurrency contracts of
+// the mining engine; cmd/stbench reproduces every table and figure of
+// the paper's evaluation.
 package stburst

@@ -1,0 +1,3 @@
+module stburst
+
+go 1.24

@@ -10,7 +10,10 @@ import (
 // RectFinder returns the maximum-weight rectangle over a weighted point
 // set, playing the role of the Dobkin et al. module in Algorithm 1.
 // Implementations must honour -Inf blocker weights: a reported rectangle
-// containing a blocker must score -Inf.
+// containing a blocker must score -Inf. Implementations must also be
+// safe for concurrent use — stateless per call — since one finder value
+// is shared by every worker of a corpus-wide batch run (ExactFinder and
+// GridFinder both qualify: they read only their arguments).
 type RectFinder func(pts []discrepancy.WeightedPoint) (discrepancy.Rectangle, bool)
 
 // ExactFinder returns the exact maximum-weight rectangle finder.

@@ -8,6 +8,12 @@ import (
 )
 
 // STCombOptions configures the STComb miner.
+//
+// Concurrency: an options value may be shared by any number of concurrent
+// STComb calls. Detector implementations must be stateless per Detect
+// call (both provided detectors are value types whose Detect reads only
+// its arguments), so one detector value can serve every worker of a
+// corpus-wide batch run.
 type STCombOptions struct {
 	// Detector extracts per-stream bursty temporal intervals. The zero
 	// value uses the discrepancy framework of the authors' KDD'09 work

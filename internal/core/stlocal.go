@@ -11,6 +11,13 @@ import (
 )
 
 // STLocalOptions configures the STLocal miner.
+//
+// Concurrency: an options value may be shared by any number of concurrent
+// miners. Baseline is a factory precisely so that no baseline *instance*
+// is ever shared — every NewSTLocal call creates its own per-stream
+// instances — and Finder implementations must be stateless per call (both
+// provided finders are). Individual STLocal instances are NOT safe for
+// concurrent use; create one per goroutine (MineLocal does).
 type STLocalOptions struct {
 	// Baseline supplies the expected-frequency model E_x[i][t] of Eq. 7.
 	// nil uses the paper's default, the running mean over all earlier

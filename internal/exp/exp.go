@@ -26,10 +26,17 @@ type Lab struct {
 	Windows  map[int][]core.Window      // STLocal regional patterns per term
 	Combs    map[int][]core.CombPattern // STComb combinatorial patterns per term
 	Temporal map[int][]burst.Interval   // TB temporal bursts per term (merged stream)
+	workers  int                        // worker count for per-term experiment replays
 }
 
-// NewLab generates the corpus and mines all three pattern sets.
-func NewLab(cfg gen.TopixConfig) (*Lab, error) {
+// NewLab generates the corpus and mines all three pattern sets, fanning
+// the vocabulary out across one worker per CPU. Mining output is
+// bit-identical to the sequential path for every worker count.
+func NewLab(cfg gen.TopixConfig) (*Lab, error) { return NewLabPar(cfg, 0) }
+
+// NewLabPar is NewLab with an explicit mining worker count (<1 means one
+// worker per CPU, 1 is fully sequential).
+func NewLabPar(cfg gen.TopixConfig, workers int) (*Lab, error) {
 	tp, err := gen.NewTopix(cfg)
 	if err != nil {
 		return nil, err
@@ -40,11 +47,16 @@ func NewLab(cfg gen.TopixConfig) (*Lab, error) {
 	combDet := burst.Discrepancy{MinMass: 3}
 	return &Lab{
 		TP:       tp,
-		Windows:  search.MineWindows(tp.Col, core.STLocalOptions{}),
-		Combs:    search.MineCombPatterns(tp.Col, core.STCombOptions{Detector: combDet}),
-		Temporal: search.MineTemporal(tp.Col, nil),
+		Windows:  search.MineWindowsPar(tp.Col, core.STLocalOptions{}, workers),
+		Combs:    search.MineCombPatternsPar(tp.Col, core.STCombOptions{Detector: combDet}, workers),
+		Temporal: search.MineTemporalPar(tp.Col, nil, workers),
+		workers:  workers,
 	}, nil
 }
+
+// Workers returns the lab's mining worker count, reused by the
+// experiments that replay per-term mining (Fig. 5/6).
+func (l *Lab) Workers() int { return l.workers }
 
 // Col returns the lab's collection.
 func (l *Lab) Col() *stream.Collection { return l.TP.Col }

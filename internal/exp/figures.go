@@ -2,11 +2,13 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"stburst/internal/core"
 	"stburst/internal/eval"
 	"stburst/internal/gen"
+	"stburst/internal/par"
 )
 
 // Fig5Result is the Figure 5 histogram: the share of terms whose average
@@ -19,14 +21,17 @@ type Fig5Result struct {
 }
 
 // Fig5 measures the average number of bursty rectangles reported per
-// term per timestamp on the Topix-like corpus.
+// term per timestamp on the Topix-like corpus. The per-term STLocal
+// replays are independent, so they fan out across the lab's worker pool.
 func Fig5(l *Lab) Fig5Result {
 	col := l.Col()
 	points := col.Points()
-	var avgs []float64
-	for _, term := range col.Terms() {
+	terms := col.Terms()
+	sort.Ints(terms)
+	avgs := make([]float64, len(terms))
+	par.ForEach(len(terms), l.Workers(), func(ti int) {
 		m := core.NewSTLocal(points, core.STLocalOptions{})
-		surface := col.Surface(term)
+		surface := col.Surface(terms[ti])
 		obs := make([]float64, len(points))
 		for i := 0; i < col.Length(); i++ {
 			for x := range surface {
@@ -36,8 +41,8 @@ func Fig5(l *Lab) Fig5Result {
 				panic(err)
 			}
 		}
-		avgs = append(avgs, float64(m.TotalRectCount())/float64(col.Length()))
-	}
+		avgs[ti] = float64(m.TotalRectCount()) / float64(col.Length())
+	})
 	edges := []float64{0, 1, 2, 3, 4, 5}
 	counts := eval.Histogram(avgs, edges)
 	res := Fig5Result{Edges: edges, Percent: make([]float64, len(edges)), NumTerms: len(avgs)}
@@ -75,11 +80,15 @@ type Fig6Result struct {
 func Fig6(l *Lab) Fig6Result {
 	col := l.Col()
 	points := col.Points()
-	sums := make([]float64, col.Length())
 	terms := col.Terms()
-	for _, term := range terms {
+	sort.Ints(terms)
+	// Per-term replays run in parallel; each writes its own history row,
+	// and the rows are reduced sequentially so the sums stay deterministic
+	// (float addition order is fixed by term order, not schedule).
+	histories := make([][]int, len(terms))
+	par.ForEach(len(terms), l.Workers(), func(ti int) {
 		m := core.NewSTLocal(points, core.STLocalOptions{})
-		surface := col.Surface(term)
+		surface := col.Surface(terms[ti])
 		obs := make([]float64, len(points))
 		for i := 0; i < col.Length(); i++ {
 			for x := range surface {
@@ -89,7 +98,11 @@ func Fig6(l *Lab) Fig6Result {
 				panic(err)
 			}
 		}
-		for i, open := range m.OpenHistory() {
+		histories[ti] = m.OpenHistory()
+	})
+	sums := make([]float64, col.Length())
+	for _, hist := range histories {
+		for i, open := range hist {
 			sums[i] += float64(open)
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"stburst/internal/eval"
 	"stburst/internal/expect"
 	"stburst/internal/gen"
+	"stburst/internal/par"
 )
 
 // Table2Row is one cell group of Table 2: the retrieval quality of one
@@ -34,6 +35,9 @@ type Table2Config struct {
 	Terms    int   // default 400
 	Patterns int   // default 60
 	Seed     int64 // default 42
+	// Workers bounds the per-term retrieval pool: <1 means one worker
+	// per CPU, 1 is fully sequential. Results are identical either way.
+	Workers int
 }
 
 func (c Table2Config) withDefaults() Table2Config {
@@ -77,9 +81,9 @@ func Table2(cfg Table2Config) []Table2Row {
 			MaxStreams: cfg.Streams/3 + 1,
 		})
 		rows = append(rows,
-			table2Method(ds, "STLocal", retrieveSTLocal),
-			table2Method(ds, "STComb", retrieveSTComb),
-			table2Method(ds, "Base", tunedBase(ds, cfg.Seed)),
+			table2Method(ds, "STLocal", retrieveSTLocal, cfg.Workers),
+			table2Method(ds, "STComb", retrieveSTComb, cfg.Workers),
+			table2Method(ds, "Base", tunedBase(ds, cfg.Seed), cfg.Workers),
 		)
 	}
 	// Group rows by method as the paper's table does.
@@ -218,18 +222,33 @@ func tunedBase(ds *gen.Synth, seed int64) retriever {
 	}
 }
 
-func table2Method(ds *gen.Synth, name string, r retriever) Table2Row {
+func table2Method(ds *gen.Synth, name string, r retriever, workers int) Table2Row {
+	// Terms are retrieved in parallel (each worker mines private miner
+	// instances over a private surface); the per-term partial sums are
+	// reduced sequentially in term order so the means are deterministic.
+	terms := ds.PatternTerms()
+	type partial struct {
+		jacc, se, ee float64
+		n            int
+	}
+	partials := make([]partial, len(terms))
+	par.ForEach(len(terms), workers, func(ti int) {
+		cands := r(ds, terms[ti])
+		for _, inj := range ds.PatternsForTerm(terms[ti]) {
+			j, s, e := scoreMatch(inj, cands, ds.Config().Timeline)
+			partials[ti].jacc += j
+			partials[ti].se += s
+			partials[ti].ee += e
+			partials[ti].n++
+		}
+	})
 	var jacc, se, ee float64
 	var n int
-	for _, term := range ds.PatternTerms() {
-		cands := r(ds, term)
-		for _, inj := range ds.PatternsForTerm(term) {
-			j, s, e := scoreMatch(inj, cands, ds.Config().Timeline)
-			jacc += j
-			se += s
-			ee += e
-			n++
-		}
+	for _, p := range partials {
+		jacc += p.jacc
+		se += p.se
+		ee += p.ee
+		n += p.n
 	}
 	if n == 0 {
 		return Table2Row{Method: name, Dataset: ds.Config().Mode.String()}

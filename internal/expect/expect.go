@@ -19,6 +19,12 @@ type Baseline interface {
 }
 
 // Factory creates one Baseline instance per (stream, term) series.
+//
+// Baseline instances are stateful and must never be shared across
+// goroutines; factories exist so concurrent miners can each materialize
+// private instances. A Factory itself must be safe to call concurrently
+// (every constructor in this package returns one that is: the closures
+// capture only immutable configuration).
 type Factory func() Baseline
 
 // RunningMean predicts the mean of all previous observations — the

@@ -1,0 +1,196 @@
+package index
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+
+	"stburst/internal/burst"
+	"stburst/internal/core"
+)
+
+// PatternKind identifies which miner produced the patterns in a
+// PatternSet.
+type PatternKind int
+
+const (
+	// KindRegional holds STLocal windows.
+	KindRegional PatternKind = iota
+	// KindCombinatorial holds STComb patterns.
+	KindCombinatorial
+	// KindTemporal holds merged-stream temporal bursty intervals.
+	KindTemporal
+)
+
+// String returns the kind's name.
+func (k PatternKind) String() string {
+	switch k {
+	case KindRegional:
+		return "regional"
+	case KindCombinatorial:
+		return "combinatorial"
+	case KindTemporal:
+		return "temporal"
+	}
+	return "unknown"
+}
+
+// PatternSet is a cached, query-ready store of corpus-wide mined patterns
+// keyed by interned term ID. It is immutable after construction and
+// therefore safe for concurrent use by any number of goroutines: the
+// search layer consults it on every engine build instead of re-mining,
+// and readers may look terms up while other readers iterate.
+//
+// Exactly one of the three pattern maps is populated, according to Kind.
+type PatternSet struct {
+	kind     PatternKind
+	windows  map[int][]core.Window
+	combs    map[int][]core.CombPattern
+	temporal map[int][]burst.Interval
+	terms    []int // term IDs with at least one pattern, ascending
+	patterns int   // total number of stored patterns
+}
+
+// NewWindowSet wraps per-term STLocal windows. The map is adopted, not
+// copied; the caller must not mutate it afterwards.
+func NewWindowSet(byTerm map[int][]core.Window) *PatternSet {
+	s := &PatternSet{kind: KindRegional, windows: byTerm}
+	for t, ws := range byTerm {
+		s.terms = append(s.terms, t)
+		s.patterns += len(ws)
+	}
+	sort.Ints(s.terms)
+	return s
+}
+
+// NewCombSet wraps per-term STComb patterns. The map is adopted, not
+// copied; the caller must not mutate it afterwards.
+func NewCombSet(byTerm map[int][]core.CombPattern) *PatternSet {
+	s := &PatternSet{kind: KindCombinatorial, combs: byTerm}
+	for t, ps := range byTerm {
+		s.terms = append(s.terms, t)
+		s.patterns += len(ps)
+	}
+	sort.Ints(s.terms)
+	return s
+}
+
+// NewTemporalSet wraps per-term temporal bursty intervals. The map is
+// adopted, not copied; the caller must not mutate it afterwards.
+func NewTemporalSet(byTerm map[int][]burst.Interval) *PatternSet {
+	s := &PatternSet{kind: KindTemporal, temporal: byTerm}
+	for t, ivs := range byTerm {
+		s.terms = append(s.terms, t)
+		s.patterns += len(ivs)
+	}
+	sort.Ints(s.terms)
+	return s
+}
+
+// Kind returns which miner produced the set.
+func (s *PatternSet) Kind() PatternKind { return s.kind }
+
+// Terms returns the term IDs holding at least one pattern, in ascending
+// order. The slice is shared; callers must not mutate it.
+func (s *PatternSet) Terms() []int { return s.terms }
+
+// NumTerms returns the number of terms with at least one pattern.
+func (s *PatternSet) NumTerms() int { return len(s.terms) }
+
+// NumPatterns returns the total number of stored patterns.
+func (s *PatternSet) NumPatterns() int { return s.patterns }
+
+// Windows returns the stored STLocal windows of a term (nil when the term
+// has none or the set holds a different kind).
+func (s *PatternSet) Windows(term int) []core.Window { return s.windows[term] }
+
+// Combs returns the stored STComb patterns of a term (nil when the term
+// has none or the set holds a different kind).
+func (s *PatternSet) Combs(term int) []core.CombPattern { return s.combs[term] }
+
+// Temporal returns the stored temporal intervals of a term (nil when the
+// term has none or the set holds a different kind).
+func (s *PatternSet) Temporal(term int) []burst.Interval { return s.temporal[term] }
+
+// AllWindows returns the full per-term window map (nil for other kinds).
+// The map is shared; callers must not mutate it.
+func (s *PatternSet) AllWindows() map[int][]core.Window { return s.windows }
+
+// AllCombs returns the full per-term pattern map (nil for other kinds).
+// The map is shared; callers must not mutate it.
+func (s *PatternSet) AllCombs() map[int][]core.CombPattern { return s.combs }
+
+// AllTemporal returns the full per-term interval map (nil for other
+// kinds). The map is shared; callers must not mutate it.
+func (s *PatternSet) AllTemporal() map[int][]burst.Interval { return s.temporal }
+
+// Fingerprint returns a hex SHA-256 digest over a canonical serialization
+// of the whole set: terms in ascending order, patterns in stored order,
+// every coordinate and score encoded by its exact bit pattern. Two sets
+// fingerprint equally iff their contents are identical, so the determinism
+// suite can assert byte-identical mining output across worker counts and
+// repeated runs with a single comparison.
+func (s *PatternSet) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	wInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	wFloat := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	wInt(int(s.kind))
+	for _, t := range s.terms {
+		wInt(t)
+		switch s.kind {
+		case KindRegional:
+			ws := s.windows[t]
+			wInt(len(ws))
+			for _, w := range ws {
+				wFloat(w.Rect.MinX)
+				wFloat(w.Rect.MinY)
+				wFloat(w.Rect.MaxX)
+				wFloat(w.Rect.MaxY)
+				wInt(len(w.Streams))
+				for _, x := range w.Streams {
+					wInt(x)
+				}
+				wInt(w.Start)
+				wInt(w.End)
+				wFloat(w.Score)
+			}
+		case KindCombinatorial:
+			ps := s.combs[t]
+			wInt(len(ps))
+			for _, p := range ps {
+				wInt(len(p.Streams))
+				for _, x := range p.Streams {
+					wInt(x)
+				}
+				wInt(p.Start)
+				wInt(p.End)
+				wFloat(p.Score)
+				wInt(len(p.Intervals))
+				for _, iv := range p.Intervals {
+					wInt(iv.Stream)
+					wInt(iv.Start)
+					wInt(iv.End)
+					wFloat(iv.Weight)
+				}
+			}
+		case KindTemporal:
+			ivs := s.temporal[t]
+			wInt(len(ivs))
+			for _, iv := range ivs {
+				wInt(iv.Start)
+				wInt(iv.End)
+				wFloat(iv.Score)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,85 @@
+// Package par provides the bounded worker pool underneath the corpus-wide
+// batch miners: a deterministic parallel for-each over an index range.
+//
+// Determinism contract: ForEach assigns indices to workers dynamically, so
+// the *schedule* varies run to run, but every index is processed exactly
+// once and callers write results only to their own index-addressed slot.
+// As long as fn(i) is a pure function of i (which the per-term miners are —
+// each mines a private STLocal/STComb instance over a private surface), the
+// assembled result is bit-identical for every worker count, including 1.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: values below 1 mean "use
+// one worker per available CPU" (GOMAXPROCS), and the count is capped at n
+// so no goroutine is spawned without work.
+func Workers(requested, n int) int {
+	w := requested
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach calls fn(i) exactly once for every i in [0, n), fanning the
+// indices out across a pool of bounded size. workers < 1 uses one worker
+// per CPU. It returns after every call has completed. fn must not panic;
+// a panic in fn propagates to the caller of ForEach (the first one wins,
+// remaining workers are drained).
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		panicked any
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					mu.Unlock()
+					// Drain remaining work so sibling workers exit promptly.
+					next.Store(int64(n))
+				}
+			}()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,73 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 100, runtime.GOMAXPROCS(0)},
+		{-3, 100, runtime.GOMAXPROCS(0)},
+		{4, 100, 4},
+		{8, 3, 3},   // capped at n
+		{1, 0, 1},   // floor of 1
+		{100, 1, 1}, // capped at n
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.n); got != c.want {
+			t.Fatalf("Workers(%d,%d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		const n = 500
+		counts := make([]int32, n)
+		ForEach(n, workers, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-5, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn must not run for n <= 0")
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected panic to propagate")
+		}
+	}()
+	ForEach(100, 4, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	// One worker must preserve index order (the sequential fallback).
+	var got []int
+	ForEach(5, 1, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("sequential order violated: %v", got)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package search
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"stburst/internal/burst"
+	"stburst/internal/core"
+	"stburst/internal/par"
+	"stburst/internal/stream"
+)
+
+// termsMined counts per-term miner invocations across all corpus-wide
+// mining calls in the process. It exists so tests (and diagnostics) can
+// assert that query paths backed by a pattern index never re-mine.
+var termsMined atomic.Int64
+
+// TermsMined returns the cumulative number of per-term mining invocations
+// performed by the corpus-wide miners since process start.
+func TermsMined() int64 { return termsMined.Load() }
+
+// sortedCorpusTerms returns the collection's term IDs in ascending order,
+// giving the batch miners a deterministic work list regardless of map
+// iteration order.
+func sortedCorpusTerms(col *stream.Collection) []int {
+	terms := col.Terms()
+	sort.Ints(terms)
+	return terms
+}
+
+// mineAll fans the corpus vocabulary out across a bounded worker pool and
+// assembles the per-term results into a map, dropping empty results. Each
+// worker invocation mines one term through fn, which must be safe for
+// concurrent use (the per-term miners are: every call builds private
+// miner/baseline instances over a private frequency surface).
+func mineAll[P any](col *stream.Collection, workers int, fn func(term int) []P) map[int][]P {
+	terms := sortedCorpusTerms(col)
+	results := make([][]P, len(terms))
+	par.ForEach(len(terms), workers, func(i int) {
+		termsMined.Add(1)
+		results[i] = fn(terms[i])
+	})
+	out := make(map[int][]P, len(terms))
+	for i, term := range terms {
+		if len(results[i]) > 0 {
+			out[term] = results[i]
+		}
+	}
+	return out
+}
+
+// MineWindowsPar runs STLocal over every term of the collection with the
+// given worker count (<1 means one worker per CPU) and returns the
+// per-term maximal windows. Output is identical to MineWindows for every
+// worker count: terms are mined independently, each on a private miner
+// instance with baselines created through the options' factory.
+func MineWindowsPar(col *stream.Collection, opts core.STLocalOptions, workers int) map[int][]core.Window {
+	points := col.Points()
+	return mineAll(col, workers, func(term int) []core.Window {
+		ws, err := core.MineLocal(col.Surface(term), points, opts)
+		if err != nil {
+			// Surfaces are always well-formed here; an error indicates a
+			// programming bug, not bad input.
+			panic(err)
+		}
+		return ws
+	})
+}
+
+// MineCombPatternsPar runs STComb over every term of the collection with
+// the given worker count (<1 means one worker per CPU) and returns the
+// per-term combinatorial patterns.
+func MineCombPatternsPar(col *stream.Collection, opts core.STCombOptions, workers int) map[int][]core.CombPattern {
+	return mineAll(col, workers, func(term int) []core.CombPattern {
+		return core.STComb(col.Surface(term), opts)
+	})
+}
+
+// MineTemporalPar extracts per-term temporal bursty intervals over the
+// merged stream with the given detector (nil uses the discrepancy default)
+// and worker count (<1 means one worker per CPU).
+func MineTemporalPar(col *stream.Collection, det burst.Detector, workers int) map[int][]burst.Interval {
+	if det == nil {
+		det = burst.Discrepancy{}
+	}
+	return mineAll(col, workers, func(term int) []burst.Interval {
+		return det.Detect(col.MergedSeries(term))
+	})
+}

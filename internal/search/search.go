@@ -152,51 +152,44 @@ func TemporalBurstiness(byTerm map[int][]burst.Interval) Burstiness {
 	}
 }
 
-// MineWindows runs STLocal over every term of the collection and returns
-// the per-term maximal windows — the pattern side of an STLocal engine.
-func MineWindows(col *stream.Collection, opts core.STLocalOptions) map[int][]core.Window {
-	points := col.Points()
-	out := make(map[int][]core.Window)
-	for _, term := range col.Terms() {
-		ws, err := core.MineLocal(col.Surface(term), points, opts)
-		if err != nil {
-			// Surfaces are always well-formed here; an error indicates a
-			// programming bug, not bad input.
-			panic(err)
-		}
-		if len(ws) > 0 {
-			out[term] = ws
-		}
+// PatternBurstiness adapts a mined pattern set of any kind to the engine,
+// dispatching to the kind's overlap notion.
+func PatternBurstiness(ps *index.PatternSet) Burstiness {
+	switch ps.Kind() {
+	case index.KindRegional:
+		return WindowBurstiness(ps.AllWindows())
+	case index.KindCombinatorial:
+		return CombBurstiness(ps.AllCombs())
+	default:
+		return TemporalBurstiness(ps.AllTemporal())
 	}
-	return out
 }
 
-// MineCombPatterns runs STComb over every term of the collection and
-// returns the per-term combinatorial patterns.
+// BuildFromPatterns indexes the collection against an already-mined
+// pattern set: the engine-build path that consults the pattern index
+// instead of re-mining the corpus.
+func BuildFromPatterns(col *stream.Collection, ps *index.PatternSet) *Engine {
+	return Build(col, PatternBurstiness(ps))
+}
+
+// MineWindows runs STLocal over every term of the collection on a single
+// worker and returns the per-term maximal windows — the pattern side of an
+// STLocal engine. See MineWindowsPar for the concurrent variant.
+func MineWindows(col *stream.Collection, opts core.STLocalOptions) map[int][]core.Window {
+	return MineWindowsPar(col, opts, 1)
+}
+
+// MineCombPatterns runs STComb over every term of the collection on a
+// single worker and returns the per-term combinatorial patterns. See
+// MineCombPatternsPar for the concurrent variant.
 func MineCombPatterns(col *stream.Collection, opts core.STCombOptions) map[int][]core.CombPattern {
-	out := make(map[int][]core.CombPattern)
-	for _, term := range col.Terms() {
-		ps := core.STComb(col.Surface(term), opts)
-		if len(ps) > 0 {
-			out[term] = ps
-		}
-	}
-	return out
+	return MineCombPatternsPar(col, opts, 1)
 }
 
 // MineTemporal extracts per-term temporal bursty intervals over the
 // merged stream with the given detector (nil uses the discrepancy
-// default) — the pattern side of a TB engine.
+// default) — the pattern side of a TB engine. See MineTemporalPar for the
+// concurrent variant.
 func MineTemporal(col *stream.Collection, det burst.Detector) map[int][]burst.Interval {
-	if det == nil {
-		det = burst.Discrepancy{}
-	}
-	out := make(map[int][]burst.Interval)
-	for _, term := range col.Terms() {
-		ivs := det.Detect(col.MergedSeries(term))
-		if len(ivs) > 0 {
-			out[term] = ivs
-		}
-	}
-	return out
+	return MineTemporalPar(col, det, 1)
 }

@@ -75,6 +75,13 @@ type posting struct {
 
 // Collection is a spatiotemporal document collection: n streams observed
 // over a timeline of Length discrete timestamps.
+//
+// Concurrency: loading (AddTokens/AddCounts/SetRetainCounts and
+// Dictionary.ID) must happen from a single goroutine. Once loading is
+// done, every read path — Surface, MergedSeries, TermDocs, Terms, Doc,
+// Dict().Lookup/Term, and the rest of the accessors — is safe for
+// unlimited concurrent use: the corpus-wide batch miners read one
+// collection from many workers at once.
 type Collection struct {
 	streams      []Info
 	length       int

@@ -1,0 +1,132 @@
+package stburst
+
+import (
+	"sync"
+
+	"stburst/internal/index"
+	"stburst/internal/search"
+)
+
+// PatternIndex is a cached, query-ready store of spatiotemporal patterns
+// mined across the entire corpus vocabulary, keyed by term. It is built
+// once by the batch miners (MineAllRegional, MineAllCombinatorial,
+// MineAllTemporal) and consulted afterwards by both the per-term accessors
+// and the search engine, so repeated queries never re-mine the corpus.
+//
+// A PatternIndex is immutable after construction and safe for concurrent
+// use from any number of goroutines.
+type PatternIndex struct {
+	c   *Collection
+	set *index.PatternSet
+
+	engOnce sync.Once
+	eng     *Engine
+}
+
+// MineAllRegional mines STLocal regional patterns for every term of the
+// corpus and returns the resulting pattern index. The vocabulary is fanned
+// out across a bounded worker pool: parallelism < 1 uses one worker per
+// CPU, 1 reproduces the sequential loop exactly, and any value yields
+// bit-identical output (each term is mined independently on a private
+// miner whose baselines come from the options' factory). A nil opts uses
+// the paper's defaults.
+func (c *Collection) MineAllRegional(opts *RegionalOptions, parallelism int) *PatternIndex {
+	windows := search.MineWindowsPar(c.col, opts.coreOptions(), parallelism)
+	return &PatternIndex{c: c, set: index.NewWindowSet(windows)}
+}
+
+// MineAllCombinatorial mines STComb combinatorial patterns for every term
+// of the corpus and returns the resulting pattern index. Parallelism
+// semantics match MineAllRegional. A nil opts uses the paper's defaults.
+func (c *Collection) MineAllCombinatorial(opts *CombinatorialOptions, parallelism int) *PatternIndex {
+	patterns := search.MineCombPatternsPar(c.col, opts.coreOptions(), parallelism)
+	return &PatternIndex{c: c, set: index.NewCombSet(patterns)}
+}
+
+// MineAllTemporal extracts every term's bursty temporal intervals on the
+// merged stream (the temporal-only TB system of §6.3) and returns the
+// resulting pattern index. Parallelism semantics match MineAllRegional.
+func (c *Collection) MineAllTemporal(parallelism int) *PatternIndex {
+	temporal := search.MineTemporalPar(c.col, nil, parallelism)
+	return &PatternIndex{c: c, set: index.NewTemporalSet(temporal)}
+}
+
+// Kind names the pattern type the index stores: "regional",
+// "combinatorial" or "temporal".
+func (ix *PatternIndex) Kind() string { return ix.set.Kind().String() }
+
+// Terms returns every term holding at least one pattern, in ascending
+// interned-ID (i.e. first-seen) order.
+func (ix *PatternIndex) Terms() []string {
+	ids := ix.set.Terms()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = ix.c.col.Dict().Term(id)
+	}
+	return out
+}
+
+// NumTerms returns the number of terms holding at least one pattern.
+func (ix *PatternIndex) NumTerms() int { return ix.set.NumTerms() }
+
+// NumPatterns returns the total number of stored patterns.
+func (ix *PatternIndex) NumPatterns() int { return ix.set.NumPatterns() }
+
+// RegionalPatterns returns the stored regional patterns of a term, exactly
+// as Collection.RegionalPatterns would mine them. It is nil for terms
+// without patterns and for indexes of other kinds. The slice aliases the
+// index's shared storage (unlike the per-term miner, which returns a
+// fresh slice): callers must not modify it — copy first to sort or edit.
+func (ix *PatternIndex) RegionalPatterns(term string) []RegionalPattern {
+	id, ok := ix.c.col.Dict().Lookup(ix.c.normalize(term))
+	if !ok {
+		return nil
+	}
+	return ix.set.Windows(id)
+}
+
+// CombinatorialPatterns returns the stored combinatorial patterns of a
+// term, exactly as Collection.CombinatorialPatterns would mine them. It is
+// nil for terms without patterns and for indexes of other kinds. The
+// slice aliases the index's shared storage; callers must not modify it.
+func (ix *PatternIndex) CombinatorialPatterns(term string) []CombinatorialPattern {
+	id, ok := ix.c.col.Dict().Lookup(ix.c.normalize(term))
+	if !ok {
+		return nil
+	}
+	return ix.set.Combs(id)
+}
+
+// TemporalBursts returns the stored merged-stream bursty intervals of a
+// term, exactly as Collection.TemporalBursts would mine them. It is nil
+// for terms without intervals and for indexes of other kinds. The slice
+// aliases the index's shared storage; callers must not modify it.
+func (ix *PatternIndex) TemporalBursts(term string) []TemporalInterval {
+	id, ok := ix.c.col.Dict().Lookup(ix.c.normalize(term))
+	if !ok {
+		return nil
+	}
+	return ix.set.Temporal(id)
+}
+
+// Fingerprint returns a hex SHA-256 digest over a canonical serialization
+// of the whole index. Equal fingerprints mean byte-identical pattern
+// content; the concurrency suite uses it to assert determinism across
+// worker counts and repeated runs.
+func (ix *PatternIndex) Fingerprint() string { return ix.set.Fingerprint() }
+
+// Engine returns a search engine answering queries from the stored
+// patterns. The engine is built on first use and cached; no call ever
+// re-mines the corpus. It is safe to call concurrently.
+func (ix *PatternIndex) Engine() *Engine {
+	ix.engOnce.Do(func() {
+		ix.eng = &Engine{c: ix.c, eng: search.BuildFromPatterns(ix.c.col, ix.set)}
+	})
+	return ix.eng
+}
+
+// Search retrieves the top-k documents for a free-text query against the
+// stored patterns (Eq. 10/11), building the cached engine on first use.
+func (ix *PatternIndex) Search(query string, k int) []Hit {
+	return ix.Engine().Search(query, k)
+}

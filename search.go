@@ -24,27 +24,27 @@ type Engine struct {
 }
 
 // NewRegionalEngine builds a search engine over STLocal regional
-// patterns, mining every term of the collection. A nil opts uses the
-// paper's defaults.
+// patterns, mining every term of the collection in parallel (one worker
+// per CPU; the output is identical to the sequential loop). A nil opts
+// uses the paper's defaults. To reuse the mined patterns — or to answer
+// repeated queries without rebuilding — mine once with MineAllRegional
+// and use the returned PatternIndex instead.
 func NewRegionalEngine(c *Collection, opts *RegionalOptions) *Engine {
-	windows := search.MineWindows(c.col, opts.coreOptions())
-	return &Engine{c: c, eng: search.Build(c.col, search.WindowBurstiness(windows))}
+	return c.MineAllRegional(opts, 0).Engine()
 }
 
 // NewCombinatorialEngine builds a search engine over STComb combinatorial
-// patterns, mining every term of the collection. A nil opts uses the
-// paper's defaults.
+// patterns, mining every term of the collection in parallel. A nil opts
+// uses the paper's defaults.
 func NewCombinatorialEngine(c *Collection, opts *CombinatorialOptions) *Engine {
-	patterns := search.MineCombPatterns(c.col, opts.coreOptions())
-	return &Engine{c: c, eng: search.Build(c.col, search.CombBurstiness(patterns))}
+	return c.MineAllCombinatorial(opts, 0).Engine()
 }
 
 // NewTemporalEngine builds the temporal-only comparison engine (the TB
-// system of §6.3): burstiness is mined on the merged stream and the
-// documents' origins are disregarded.
+// system of §6.3): burstiness is mined on the merged stream, in parallel,
+// and the documents' origins are disregarded.
 func NewTemporalEngine(c *Collection) *Engine {
-	temporal := search.MineTemporal(c.col, nil)
-	return &Engine{c: c, eng: search.Build(c.col, search.TemporalBurstiness(temporal))}
+	return c.MineAllTemporal(0).Engine()
 }
 
 // Search retrieves the top-k documents for a free-text query. Documents

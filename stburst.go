@@ -148,6 +148,12 @@ func (o *CombinatorialOptions) coreOptions() core.STCombOptions {
 
 // Collection is a spatiotemporal document collection: documents arriving
 // on geostamped streams over a discrete timeline.
+//
+// Concurrency: add all documents from a single goroutine first; after
+// that, every read and mining method (RegionalPatterns,
+// CombinatorialPatterns, TemporalBursts, TermFrequency, the MineAll*
+// batch miners, engine construction and search) is safe to call from any
+// number of goroutines concurrently.
 type Collection struct {
 	col *stream.Collection
 	tok *textproc.Tokenizer
