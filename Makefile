@@ -1,21 +1,34 @@
-# Tier-1 verification plus the race/determinism and benchmark suites.
+# Tier-1 verification plus the race/determinism and benchmark suites,
+# and the snapshot/serving pipeline.
 #
-#   make            # build + full tests (tier-1)
+#   make            # build + vet + full tests (tier-1)
 #   make test-short # seconds-fast subset (heavy corpus reproductions skipped)
 #   make race       # concurrency suite under the race detector
 #   make bench      # all benchmarks, including the MineAll speedup pair
 #   make verify     # tier-1 + race: what CI should run
+#   make snapshot   # stgen a corpus (if missing) and stmine it into $(SNAPSHOT)
+#   make serve      # stserve the snapshot on $(ADDR)
 
 GO ?= go
+CORPUS ?= corpus.jsonl
+SNAPSHOT ?= snapshot.stb
+ADDR ?= :8080
 
-.PHONY: all build test test-short race bench verify
+# A failed stgen/stmine must not leave a truncated artifact that later
+# runs treat as up to date.
+.DELETE_ON_ERROR:
+
+.PHONY: all build vet test test-short race bench verify snapshot serve
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-test: build
+vet:
+	$(GO) vet ./...
+
+test: build vet
 	$(GO) test ./...
 
 test-short: build
@@ -23,9 +36,21 @@ test-short: build
 
 race: build
 	$(GO) test -race -short ./...
-	$(GO) test -race -run 'TestMineAll|TestConcurrent|TestSearchAnswers|TestPatternIndex' .
+	$(GO) test -race -run 'TestMineAll|TestConcurrent|TestSearchAnswers|TestPatternIndex|TestLoaded' .
+	$(GO) test -race ./cmd/stserve/
 
 bench: build
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
 verify: test race
+
+$(CORPUS):
+	$(GO) run ./cmd/stgen -kind topix > $@
+
+$(SNAPSHOT): $(CORPUS)
+	$(GO) run ./cmd/stmine -all -corpus $(CORPUS) -o $@ > /dev/null
+
+snapshot: $(SNAPSHOT)
+
+serve: $(SNAPSHOT)
+	$(GO) run ./cmd/stserve -corpus $(CORPUS) -snapshot $(SNAPSHOT) -addr $(ADDR)

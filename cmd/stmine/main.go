@@ -6,12 +6,15 @@
 //	stgen -kind topix > corpus.jsonl
 //	stmine -term earthquake -method stlocal < corpus.jsonl
 //	stmine -term fujimori   -method stcomb  -k 5 < corpus.jsonl
-//	stmine -all -method stlocal -parallel 8 < corpus.jsonl
+//	stmine -all -method stlocal -parallel 8 -corpus corpus.jsonl
+//	stmine -all -corpus corpus.jsonl -o snapshot.stb
 //
 // With -all, the entire corpus vocabulary is mined concurrently across a
 // bounded worker pool (-parallel workers, default one per CPU) and the
 // top-k patterns corpus-wide are printed together with their terms; the
-// output is identical for every worker count.
+// output is identical for every worker count. -o additionally writes the
+// mined index as a binary snapshot, the artifact cmd/stserve loads at
+// boot — mine once, serve many.
 //
 // Streams are projected onto the 2-D plane with multidimensional scaling
 // over their pairwise geographic distances, as in §6.1 of the paper.
@@ -20,12 +23,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
 
 	"stburst/internal/core"
 	"stburst/internal/corpusio"
+	"stburst/internal/index"
 	"stburst/internal/search"
 	"stburst/internal/stream"
 )
@@ -34,23 +39,43 @@ func main() {
 	var (
 		term     = flag.String("term", "", "term to mine (required unless -all)")
 		all      = flag.Bool("all", false, "mine every term of the corpus")
-		method   = flag.String("method", "stlocal", "miner: stlocal or stcomb")
+		method   = flag.String("method", "stlocal", "miner: stlocal, stcomb or temporal (temporal requires -all)")
 		k        = flag.Int("k", 5, "number of patterns to print")
 		parallel = flag.Int("parallel", 0, "mining workers for -all (<1 = one per CPU)")
+		corpus   = flag.String("corpus", "", "JSONL corpus path (default: read stdin)")
+		out      = flag.String("o", "", "write the mined index as a snapshot to this path (requires -all)")
 	)
 	flag.Parse()
 	if *term == "" && !*all {
 		fmt.Fprintln(os.Stderr, "stmine: -term is required (or pass -all)")
 		os.Exit(2)
 	}
+	if *out != "" && !*all {
+		fmt.Fprintln(os.Stderr, "stmine: -o requires -all (snapshots hold the whole vocabulary)")
+		os.Exit(2)
+	}
 
-	col, _, err := corpusio.Load(os.Stdin)
+	var in io.Reader = os.Stdin
+	if *corpus != "" {
+		f, err := os.Open(*corpus)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmine:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	col, _, err := corpusio.Load(in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stmine:", err)
 		os.Exit(1)
 	}
+	if col.NumDocs() == 0 {
+		fmt.Fprintln(os.Stderr, "stmine: corpus contains no documents")
+		os.Exit(1)
+	}
 	if *all {
-		mineAll(col, *method, *k, *parallel)
+		mineAll(col, *method, *k, *parallel, *out)
 		return
 	}
 	id, ok := col.Dict().Lookup(*term)
@@ -79,17 +104,21 @@ func main() {
 			fmt.Printf("#%d  score %.3f  weeks [%d,%d]  %d streams: %s\n",
 				i+1, p.Score, p.Start, p.End, len(p.Streams), names(col, p.Streams, 6))
 		}
+	case "temporal", "tb":
+		fmt.Fprintln(os.Stderr, "stmine: -method temporal requires -all (it mines the merged stream corpus-wide)")
+		os.Exit(2)
 	default:
 		fmt.Fprintf(os.Stderr, "stmine: unknown method %q\n", *method)
 		os.Exit(2)
 	}
 }
 
-// mineAll runs the corpus-wide batch miner and prints the top-k patterns
-// across all terms, by descending score with deterministic tie-breaks.
+// mineAll runs the corpus-wide batch miner, prints the top-k patterns
+// across all terms (by descending score with deterministic tie-breaks)
+// and, when snapshotPath is set, writes the mined index as a snapshot.
 // Only the k survivors are formatted: per-term pattern slices are already
 // deterministically ordered, so (score, term, position) is a total order.
-func mineAll(col *stream.Collection, method string, k, parallel int) {
+func mineAll(col *stream.Collection, method string, k, parallel int, snapshotPath string) {
 	type scored struct {
 		term  int
 		idx   int // position within the term's pattern slice
@@ -98,12 +127,12 @@ func mineAll(col *stream.Collection, method string, k, parallel int) {
 	var format func(s scored) string
 	start := time.Now()
 	var top []scored
-	var patterns int
+	var set *index.PatternSet
 	switch method {
 	case "stlocal":
 		byTerm := search.MineWindowsPar(col, core.STLocalOptions{}, parallel)
+		set = index.NewWindowSet(byTerm)
 		for term, ws := range byTerm {
-			patterns += len(ws)
 			for i, w := range ws {
 				top = append(top, scored{term, i, w.Score})
 			}
@@ -115,8 +144,8 @@ func mineAll(col *stream.Collection, method string, k, parallel int) {
 		}
 	case "stcomb":
 		byTerm := search.MineCombPatternsPar(col, core.STCombOptions{}, parallel)
+		set = index.NewCombSet(byTerm)
 		for term, ps := range byTerm {
-			patterns += len(ps)
 			for i, p := range ps {
 				top = append(top, scored{term, i, p.Score})
 			}
@@ -125,6 +154,18 @@ func mineAll(col *stream.Collection, method string, k, parallel int) {
 			p := byTerm[s.term][s.idx]
 			return fmt.Sprintf("score %.3f  weeks [%d,%d]  %d streams: %s",
 				p.Score, p.Start, p.End, len(p.Streams), names(col, p.Streams, 6))
+		}
+	case "temporal", "tb":
+		byTerm := search.MineTemporalPar(col, nil, parallel)
+		set = index.NewTemporalSet(byTerm)
+		for term, ivs := range byTerm {
+			for i, iv := range ivs {
+				top = append(top, scored{term, i, iv.Score})
+			}
+		}
+		format = func(s scored) string {
+			iv := byTerm[s.term][s.idx]
+			return fmt.Sprintf("score %.3f  weeks [%d,%d]  merged stream", iv.Score, iv.Start, iv.End)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "stmine: unknown method %q\n", method)
@@ -141,7 +182,15 @@ func mineAll(col *stream.Collection, method string, k, parallel int) {
 		return top[i].idx < top[j].idx
 	})
 	fmt.Fprintf(os.Stderr, "stmine: mined %d terms, %d patterns in %v\n",
-		col.Dict().Len(), patterns, elapsed.Round(time.Millisecond))
+		col.Dict().Len(), set.NumPatterns(), elapsed.Round(time.Millisecond))
+	if snapshotPath != "" {
+		if err := index.WriteSnapshotFile(snapshotPath, set, col.Dict().Term); err != nil {
+			fmt.Fprintln(os.Stderr, "stmine:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "stmine: snapshot written to %s (fingerprint %.12s...)\n",
+			snapshotPath, set.Fingerprint())
+	}
 	if len(top) > k {
 		top = top[:k]
 	}

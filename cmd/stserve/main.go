@@ -1,0 +1,136 @@
+// Command stserve is the long-running query service of the
+// mine-once/serve-many pipeline: it loads a corpus plus a pattern-index
+// snapshot (mining the corpus itself only when no snapshot exists) and
+// answers concurrent HTTP queries off the immutable in-memory index.
+//
+// Usage:
+//
+//	stgen -kind topix > corpus.jsonl
+//	stmine -all -corpus corpus.jsonl -o snapshot.stb
+//	stserve -corpus corpus.jsonl -snapshot snapshot.stb -addr :8080
+//
+// Endpoints:
+//
+//	GET /healthz          liveness probe
+//	GET /stats            index size, fingerprint, uptime, traffic counters
+//	GET /patterns/{term}  the stored patterns of a term (404 when none)
+//	GET /search?q=&k=     top-k bursty-document retrieval (Threshold Algorithm)
+//
+// When -snapshot names a file that does not exist, stserve mines the
+// corpus with the batch miners (-method selects the pattern kind,
+// -parallel the worker count) and writes the snapshot there, so the next
+// boot skips mining entirely.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"stburst"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		corpus   = flag.String("corpus", "", "JSONL corpus path (required)")
+		snapshot = flag.String("snapshot", "", "pattern-index snapshot path (loaded if present, written after mining otherwise)")
+		method   = flag.String("method", "stlocal", "miner when no snapshot exists: stlocal, stcomb or tb")
+		parallel = flag.Int("parallel", 0, "mining workers (<1 = one per CPU)")
+	)
+	flag.Parse()
+	log.SetPrefix("stserve: ")
+	log.SetFlags(0)
+	if *corpus == "" {
+		log.Fatal("-corpus is required")
+	}
+
+	f, err := os.Open(*corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	c, err := stburst.LoadCorpus(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("corpus %s: %d docs, %d streams, %d timestamps (loaded in %v)",
+		*corpus, c.NumDocs(), c.NumStreams(), c.Timeline(), time.Since(start).Round(time.Millisecond))
+
+	ix, err := loadOrMine(c, *snapshot, *method, *parallel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("index: kind %s, %d terms, %d patterns, fingerprint %.12s...",
+		ix.Kind(), ix.NumTerms(), ix.NumPatterns(), ix.Fingerprint())
+
+	start = time.Now()
+	ix.Engine() // warm the cached search engine before accepting traffic
+	log.Printf("search engine built in %v", time.Since(start).Round(time.Millisecond))
+
+	log.Printf("listening on %s", *addr)
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newServer(c, ix),
+		// Queries answer in microseconds; anything holding a connection
+		// for seconds is a stalled or malicious client, and a
+		// long-running service must not pin goroutines on them.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// loadOrMine restores the pattern index from the snapshot when one
+// exists, and otherwise mines the corpus — writing the freshly mined
+// index back to the snapshot path (when given) so subsequent boots load
+// instead of mining.
+func loadOrMine(c *stburst.Collection, path, method string, parallel int) (*stburst.PatternIndex, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		switch {
+		case err == nil:
+			defer f.Close()
+			start := time.Now()
+			ix, err := stburst.LoadPatternIndex(f, c)
+			if err != nil {
+				return nil, fmt.Errorf("snapshot %s: %w", path, err)
+			}
+			log.Printf("snapshot %s loaded in %v", path, time.Since(start).Round(time.Millisecond))
+			return ix, nil
+		case !os.IsNotExist(err):
+			return nil, err
+		}
+		log.Printf("snapshot %s does not exist; mining corpus", path)
+	}
+
+	start := time.Now()
+	var ix *stburst.PatternIndex
+	switch method {
+	case "stlocal":
+		ix = c.MineAllRegional(nil, parallel)
+	case "stcomb":
+		ix = c.MineAllCombinatorial(nil, parallel)
+	case "tb", "temporal":
+		ix = c.MineAllTemporal(parallel)
+	default:
+		return nil, fmt.Errorf("unknown -method %q (want stlocal, stcomb or tb)", method)
+	}
+	log.Printf("mined %d terms in %v", ix.NumTerms(), time.Since(start).Round(time.Millisecond))
+
+	if path != "" {
+		if err := ix.SaveFile(path); err != nil {
+			return nil, err
+		}
+		log.Printf("snapshot written to %s", path)
+	}
+	return ix, nil
+}

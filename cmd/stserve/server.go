@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"stburst"
+)
+
+// server is the HTTP query layer over one collection and one immutable
+// pattern index. All state reachable from request handlers is read-only
+// after construction (the index is immutable, the cached engine is built
+// behind a sync.Once), so any number of requests may run concurrently.
+type server struct {
+	c  *stburst.Collection
+	ix *stburst.PatternIndex
+	// fingerprint is computed once at construction: the index is
+	// immutable and hashing it is O(total patterns), far too much per
+	// /stats poll.
+	fingerprint string
+	started     time.Time
+	requests    atomic.Int64
+	searches    atomic.Int64
+	mux         *http.ServeMux
+}
+
+// newServer wires the endpoint handlers:
+//
+//	GET /healthz          liveness probe
+//	GET /stats            index and traffic statistics
+//	GET /patterns/{term}  stored patterns of a term
+//	GET /search?q=&k=     TA-backed top-k bursty-document retrieval
+func newServer(c *stburst.Collection, ix *stburst.PatternIndex) *server {
+	s := &server{c: c, ix: ix, fingerprint: ix.Fingerprint(), started: time.Now(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /patterns/{term}", s.handlePatterns)
+	s.mux.HandleFunc("GET /search", s.handleSearch)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"kind":           s.ix.Kind(),
+		"terms":          s.ix.NumTerms(),
+		"patterns":       s.ix.NumPatterns(),
+		"fingerprint":    s.fingerprint,
+		"docs":           s.c.NumDocs(),
+		"streams":        s.c.NumStreams(),
+		"timeline":       s.c.Timeline(),
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"requests":       s.requests.Load(),
+		"searches":       s.searches.Load(),
+	})
+}
+
+// streamNames resolves stream indices to their names for human-readable
+// responses.
+func (s *server) streamNames(streams []int) []string {
+	out := make([]string, len(streams))
+	for i, x := range streams {
+		out[i] = s.c.Stream(x).Name
+	}
+	return out
+}
+
+type rectJSON struct {
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
+type intervalJSON struct {
+	Stream string  `json:"stream"`
+	Start  int     `json:"start"`
+	End    int     `json:"end"`
+	Weight float64 `json:"weight"`
+}
+
+type patternJSON struct {
+	Start     int            `json:"start"`
+	End       int            `json:"end"`
+	Score     float64        `json:"score"`
+	Rect      *rectJSON      `json:"rect,omitempty"`
+	Streams   []string       `json:"streams,omitempty"`
+	Intervals []intervalJSON `json:"intervals,omitempty"`
+}
+
+func (s *server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	term := r.PathValue("term")
+	var patterns []patternJSON
+	switch s.ix.Kind() {
+	case "regional":
+		for _, p := range s.ix.RegionalPatterns(term) {
+			patterns = append(patterns, patternJSON{
+				Start: p.Start, End: p.End, Score: p.Score,
+				Rect:    &rectJSON{MinX: p.Rect.MinX, MinY: p.Rect.MinY, MaxX: p.Rect.MaxX, MaxY: p.Rect.MaxY},
+				Streams: s.streamNames(p.Streams),
+			})
+		}
+	case "combinatorial":
+		for _, p := range s.ix.CombinatorialPatterns(term) {
+			pj := patternJSON{
+				Start: p.Start, End: p.End, Score: p.Score,
+				Streams: s.streamNames(p.Streams),
+			}
+			for _, iv := range p.Intervals {
+				pj.Intervals = append(pj.Intervals, intervalJSON{
+					Stream: s.c.Stream(iv.Stream).Name,
+					Start:  iv.Start, End: iv.End, Weight: iv.Weight,
+				})
+			}
+			patterns = append(patterns, pj)
+		}
+	case "temporal":
+		for _, p := range s.ix.TemporalBursts(term) {
+			patterns = append(patterns, patternJSON{Start: p.Start, End: p.End, Score: p.Score})
+		}
+	}
+	if len(patterns) == 0 {
+		writeError(w, http.StatusNotFound, "no patterns for term "+strconv.Quote(term))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"term":     term,
+		"kind":     s.ix.Kind(),
+		"patterns": patterns,
+	})
+}
+
+type hitJSON struct {
+	Doc    int     `json:"doc"`
+	Stream string  `json:"stream"`
+	Time   int     `json:"time"`
+	Score  float64 `json:"score"`
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing query parameter q")
+		return
+	}
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		var err error
+		if k, err = strconv.Atoi(raw); err != nil || k < 1 {
+			writeError(w, http.StatusBadRequest, "parameter k must be a positive integer")
+			return
+		}
+	}
+	s.searches.Add(1)
+	start := time.Now()
+	hits := s.ix.Search(q, k)
+	out := make([]hitJSON, len(hits))
+	for i, h := range hits {
+		out[i] = hitJSON{Doc: h.Doc.ID, Stream: h.Stream, Time: h.Doc.Time, Score: h.Score}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"query":      q,
+		"k":          k,
+		"took_ms":    float64(time.Since(start).Microseconds()) / 1000,
+		"total_hits": len(out),
+		"hits":       out,
+	})
+}

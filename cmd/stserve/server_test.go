@@ -1,0 +1,222 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"stburst"
+)
+
+// serveCollection builds a small deterministic corpus with one strongly
+// localized burst so every engine kind has patterns to serve.
+func serveCollection(t *testing.T) *stburst.Collection {
+	t.Helper()
+	streams := []stburst.StreamInfo{
+		{Name: "lima", Location: stburst.Point{X: 0, Y: 0}},
+		{Name: "quito", Location: stburst.Point{X: 3, Y: 2}},
+		{Name: "tokyo", Location: stburst.Point{X: 95, Y: 80}},
+	}
+	c := stburst.NewCollection(streams, 12)
+	add := func(s, w int, text string) {
+		t.Helper()
+		if _, err := c.AddText(s, w, text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for w := 0; w < 12; w++ {
+		add(0, w, "markets steady calm trading")
+		add(1, w, "football results weather outlook")
+		add(2, w, "technology exports quarterly report")
+	}
+	for w := 5; w <= 7; w++ {
+		for i := 0; i < 4; i++ {
+			add(0, w, "earthquake shakes coast rescue earthquake")
+			add(1, w, "earthquake tremors border region")
+		}
+	}
+	return c
+}
+
+// get performs a request against the handler and decodes the JSON body.
+func get(t *testing.T, h http.Handler, url string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("%s: Content-Type %q, want application/json", url, ct)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("%s: invalid JSON response %q: %v", url, rec.Body.String(), err)
+	}
+	return rec.Code, body
+}
+
+func TestServerHealthz(t *testing.T) {
+	c := serveCollection(t)
+	s := newServer(c, c.MineAllRegional(nil, 0))
+	code, body := get(t, s, "/healthz")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("GET /healthz = %d %v, want 200 ok", code, body)
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	c := serveCollection(t)
+	ix := c.MineAllRegional(nil, 0)
+	s := newServer(c, ix)
+	code, body := get(t, s, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("GET /stats = %d, want 200", code)
+	}
+	if body["kind"] != "regional" {
+		t.Errorf("stats kind %v, want regional", body["kind"])
+	}
+	if body["fingerprint"] != ix.Fingerprint() {
+		t.Errorf("stats fingerprint %v, want %s", body["fingerprint"], ix.Fingerprint())
+	}
+	if int(body["terms"].(float64)) != ix.NumTerms() {
+		t.Errorf("stats terms %v, want %d", body["terms"], ix.NumTerms())
+	}
+	if int(body["docs"].(float64)) != c.NumDocs() {
+		t.Errorf("stats docs %v, want %d", body["docs"], c.NumDocs())
+	}
+	// The stats request itself is counted.
+	if int(body["requests"].(float64)) < 1 {
+		t.Errorf("stats requests %v, want >= 1", body["requests"])
+	}
+}
+
+func TestServerPatterns(t *testing.T) {
+	c := serveCollection(t)
+	kinds := map[string]*stburst.PatternIndex{
+		"regional":      c.MineAllRegional(nil, 0),
+		"combinatorial": c.MineAllCombinatorial(nil, 0),
+		"temporal":      c.MineAllTemporal(0),
+	}
+	for kind, ix := range kinds {
+		t.Run(kind, func(t *testing.T) {
+			s := newServer(c, ix)
+			code, body := get(t, s, "/patterns/earthquake")
+			if code != http.StatusOK {
+				t.Fatalf("GET /patterns/earthquake = %d, want 200", code)
+			}
+			if body["kind"] != kind || body["term"] != "earthquake" {
+				t.Errorf("patterns response kind=%v term=%v, want %s earthquake", body["kind"], body["term"], kind)
+			}
+			patterns, ok := body["patterns"].([]any)
+			if !ok || len(patterns) == 0 {
+				t.Fatalf("patterns response has no patterns: %v", body)
+			}
+			first, ok := patterns[0].(map[string]any)
+			if !ok {
+				t.Fatalf("pattern entry is %T, want object", patterns[0])
+			}
+			if _, ok := first["score"]; !ok {
+				t.Errorf("pattern entry missing score: %v", first)
+			}
+			if kind == "regional" {
+				if _, ok := first["rect"]; !ok {
+					t.Errorf("regional pattern missing rect: %v", first)
+				}
+			}
+
+			code, body = get(t, s, "/patterns/nosuchterm")
+			if code != http.StatusNotFound {
+				t.Errorf("GET /patterns/nosuchterm = %d %v, want 404", code, body)
+			}
+		})
+	}
+}
+
+func TestServerSearch(t *testing.T) {
+	c := serveCollection(t)
+	ix := c.MineAllRegional(nil, 0)
+	s := newServer(c, ix)
+
+	code, body := get(t, s, "/search?q=earthquake&k=5")
+	if code != http.StatusOK {
+		t.Fatalf("GET /search = %d %v, want 200", code, body)
+	}
+	hits, ok := body["hits"].([]any)
+	if !ok || len(hits) == 0 {
+		t.Fatalf("search returned no hits: %v", body)
+	}
+	want := ix.Search("earthquake", 5)
+	if len(hits) != len(want) {
+		t.Fatalf("search returned %d hits over HTTP, %d in process", len(hits), len(want))
+	}
+	first := hits[0].(map[string]any)
+	if int(first["doc"].(float64)) != want[0].Doc.ID || first["stream"] != want[0].Stream {
+		t.Errorf("first hit %v, want doc %d stream %s", first, want[0].Doc.ID, want[0].Stream)
+	}
+
+	// A query term outside every pattern yields an empty hit list, not an
+	// error (Eq. 10: the document set is empty, the query is still valid).
+	code, body = get(t, s, "/search?q=markets&k=5")
+	if code != http.StatusOK {
+		t.Fatalf("GET /search?q=markets = %d %v, want 200", code, body)
+	}
+	if n := int(body["total_hits"].(float64)); n != len(ix.Search("markets", 5)) {
+		t.Errorf("background-term search: %d hits over HTTP, %d in process", n, len(ix.Search("markets", 5)))
+	}
+}
+
+func TestServerSearchValidation(t *testing.T) {
+	c := serveCollection(t)
+	s := newServer(c, c.MineAllRegional(nil, 0))
+	for _, url := range []string{"/search", "/search?q=", "/search?q=earthquake&k=0", "/search?q=earthquake&k=-3", "/search?q=earthquake&k=abc"} {
+		if code, body := get(t, s, url); code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d %v, want 400", url, code, body)
+		} else if _, ok := body["error"]; !ok {
+			t.Errorf("GET %s: 400 body missing error field: %v", url, body)
+		}
+	}
+}
+
+func TestServerMethodAndRouteErrors(t *testing.T) {
+	c := serveCollection(t)
+	s := newServer(c, c.MineAllRegional(nil, 0))
+
+	req := httptest.NewRequest(http.MethodPost, "/search?q=earthquake", strings.NewReader(""))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /search = %d, want 405", rec.Code)
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/nosuchroute", nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("GET /nosuchroute = %d, want 404", rec.Code)
+	}
+}
+
+func TestServerConcurrentReads(t *testing.T) {
+	c := serveCollection(t)
+	s := newServer(c, c.MineAllRegional(nil, 0))
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				if code, _ := get(t, s, "/search?q=earthquake&k=3"); code != http.StatusOK {
+					t.Errorf("concurrent search returned %d", code)
+					return
+				}
+				if code, _ := get(t, s, "/patterns/earthquake"); code != http.StatusOK {
+					t.Errorf("concurrent patterns returned %d", code)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -47,8 +47,32 @@
 //	top := ix.RegionalPatterns("earthquake")
 //	hits := ix.Search("earthquake rescue", 10) // engine built once, cached
 //
-// See the examples directory for runnable end-to-end programs and
-// DESIGN.md for the system inventory and the concurrency contracts of
-// the mining engine; cmd/stbench reproduces every table and figure of
-// the paper's evaluation.
+// # Snapshots: mine once, serve many
+//
+// Mining is the expensive step; queries are cheap. A PatternIndex
+// persists to a versioned binary snapshot whose integrity is guarded by
+// a canonical SHA-256 fingerprint, so serving processes load in
+// milliseconds instead of re-mining at boot:
+//
+//	f, _ := os.Create("patterns.stb")
+//	ix.Save(f) // snapshot = patterns + terms + fingerprint
+//	f.Close()
+//
+//	// ... later, in a serving process over the same corpus:
+//	f, _ = os.Open("patterns.stb")
+//	loaded, err := stburst.LoadPatternIndex(f, c) // verified on load
+//	hits = loaded.Search("earthquake rescue", 10)
+//
+// LoadCorpus rebuilds a Collection from the JSONL interchange format of
+// cmd/stgen, interning deterministically so snapshots round-trip across
+// processes with byte-identical fingerprints. The CLI pipeline mirrors
+// the API: stgen generates a corpus, stmine -all -o mines it into a
+// snapshot, and stserve loads the snapshot and serves /patterns/{term},
+// /search, /stats and /healthz over HTTP off the immutable index.
+//
+// See README.md for the CLI tour, the examples directory for runnable
+// end-to-end programs, and DESIGN.md for the system inventory, the
+// snapshot format specification and the concurrency contracts of the
+// mining engine; cmd/stbench reproduces every table and figure of the
+// paper's evaluation.
 package stburst

@@ -124,7 +124,10 @@ func FilterMaximal(windows []Window) []Window {
 }
 
 // SortWindows orders windows by descending score, breaking ties by start
-// time, end time and region extent so results are deterministic.
+// time, end time, region extent and member streams. The tie-break is a
+// total order over distinct windows: the sort is unstable, so anything
+// less would let the caller's input order — and upstream, randomized map
+// iteration — leak into results that must be byte-identical across runs.
 func SortWindows(ws []Window) {
 	sort.Slice(ws, func(i, j int) bool {
 		a, b := ws[i], ws[j]
@@ -140,7 +143,21 @@ func SortWindows(ws []Window) {
 		if a.Rect.MinX != b.Rect.MinX {
 			return a.Rect.MinX < b.Rect.MinX
 		}
-		return a.Rect.MinY < b.Rect.MinY
+		if a.Rect.MinY != b.Rect.MinY {
+			return a.Rect.MinY < b.Rect.MinY
+		}
+		if a.Rect.MaxX != b.Rect.MaxX {
+			return a.Rect.MaxX < b.Rect.MaxX
+		}
+		if a.Rect.MaxY != b.Rect.MaxY {
+			return a.Rect.MaxY < b.Rect.MaxY
+		}
+		for k := 0; k < len(a.Streams) && k < len(b.Streams); k++ {
+			if a.Streams[k] != b.Streams[k] {
+				return a.Streams[k] < b.Streams[k]
+			}
+		}
+		return len(a.Streams) < len(b.Streams)
 	})
 }
 

@@ -36,7 +36,8 @@ type STLocalOptions struct {
 // fixed stream set, fed into an online Ruzzo–Tompa instance whose maximal
 // segments are the region's maximal windows.
 type sequence struct {
-	streams []int // ascending stream indices defining the region
+	key     string // streamsKey of the region, for map removal
+	streams []int  // ascending stream indices defining the region
 	rect    geo.Rect
 	start   int // timestamp at which tracking began
 	rt      maxseq.RuzzoTompa
@@ -53,9 +54,16 @@ type STLocal struct {
 	weights   []float64
 	finder    RectFinder
 
-	seqs map[string]*sequence
-	done []Window
-	now  int
+	// seqs answers "is this region already tracked?"; order holds the
+	// same open sequences in creation order. Every loop that can reach
+	// the output must walk order, never the map: map iteration order is
+	// randomized, and with it the order equal-scoring windows would
+	// reach the (unstable) final sort — output must be byte-identical
+	// across runs and processes for the snapshot/serving pipeline.
+	seqs  map[string]*sequence
+	order []*sequence
+	done  []Window
+	now   int
 
 	lastRects   int   // rectangles reported at the most recent snapshot
 	totalRects  int   // rectangles reported across all snapshots
@@ -107,13 +115,18 @@ func (s *STLocal) Push(observed []float64) error {
 		if _, ok := s.seqs[key]; ok {
 			continue
 		}
-		s.seqs[key] = &sequence{streams: r.Streams, rect: r.Rect, start: s.now}
+		seq := &sequence{key: key, streams: r.Streams, rect: r.Rect, start: s.now}
+		s.seqs[key] = seq
+		s.order = append(s.order, seq)
 		s.created++
 	}
 	// Lines 8–12: append the region's current r-score to every open
 	// sequence; retire sequences whose running total went negative (no
 	// maximal segment can have a suffix of such a sequence as a prefix).
-	for key, seq := range s.seqs {
+	// Iterate in creation order so retiring sequences finalize their
+	// windows deterministically.
+	live := s.order[:0]
+	for _, seq := range s.order {
 		var score float64
 		for _, x := range seq.streams {
 			score += s.weights[x]
@@ -121,9 +134,15 @@ func (s *STLocal) Push(observed []float64) error {
 		seq.rt.Add(score)
 		if seq.rt.Total() < 0 {
 			s.finalize(seq)
-			delete(s.seqs, key)
+			delete(s.seqs, seq.key)
+		} else {
+			live = append(live, seq)
 		}
 	}
+	for i := len(live); i < len(s.order); i++ {
+		s.order[i] = nil // release retired sequences
+	}
+	s.order = live
 	s.now++
 	s.openHistory = append(s.openHistory, len(s.seqs))
 	return nil
@@ -150,7 +169,7 @@ func (s *STLocal) finalize(seq *sequence) {
 func (s *STLocal) Windows() []Window {
 	out := make([]Window, len(s.done))
 	copy(out, s.done)
-	for _, seq := range s.seqs {
+	for _, seq := range s.order {
 		for _, seg := range seq.rt.Maximals() {
 			out = append(out, Window{
 				Rect:    seq.rect,

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 
 	"stburst/internal/gen"
 	"stburst/internal/geo"
@@ -37,7 +38,10 @@ func Load(r io.Reader) (*stream.Collection, []int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	if !sc.Scan() {
-		return nil, nil, fmt.Errorf("corpusio: empty input: %v", sc.Err())
+		if err := sc.Err(); err != nil {
+			return nil, nil, fmt.Errorf("corpusio: reading input: %w", err)
+		}
+		return nil, nil, fmt.Errorf("corpusio: empty corpus (missing header line)")
 	}
 	var h Header
 	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
@@ -77,9 +81,18 @@ func Load(r io.Reader) (*stream.Collection, []int, error) {
 		if !ok {
 			return nil, nil, fmt.Errorf("corpusio: document from unknown stream %q", d.Stream)
 		}
+		// Intern each document's terms in sorted order: map iteration is
+		// randomized per process, and snapshot portability (plus stable
+		// cross-process index fingerprints) needs every load of a corpus
+		// to assign identical dictionary IDs.
+		terms := make([]string, 0, len(d.Counts))
+		for t := range d.Counts {
+			terms = append(terms, t)
+		}
+		sort.Strings(terms)
 		counts := make(map[int]int, len(d.Counts))
-		for t, n := range d.Counts {
-			counts[col.Dict().ID(t)] = n
+		for _, t := range terms {
+			counts[col.Dict().ID(t)] = d.Counts[t]
 		}
 		if _, err := col.AddCounts(x, d.Time, counts); err != nil {
 			return nil, nil, err

@@ -1,0 +1,22 @@
+// Package expect implements expected-frequency baselines E_x[i][t] for
+// the discrepancy model of Eq. 7 in the paper:
+//
+//	B(t, D_x[i]) = D_x[i][t] − E_x[i][t]
+//
+// The paper (§4, "Single Data Stream") leaves the baseline pluggable —
+// the average over all earlier snapshots, a recent-window average, or
+// seasonal data from previous timeframes — so each of those is provided
+// behind a common interface: RunningMean (the paper's default),
+// WindowMean, EWMA and Seasonal.
+//
+// # Concurrency
+//
+// Baseline instances are stateful (Next folds each observation into the
+// model) and must never be shared across goroutines. Factory exists so
+// concurrent miners can each materialize private instances per
+// (stream, term) series: a Factory itself must be safe to call
+// concurrently, and every constructor in this package returns one that is
+// — the closures capture only immutable configuration. The corpus-wide
+// batch miners rely on this to mine thousands of terms in parallel with
+// bit-identical output.
+package expect

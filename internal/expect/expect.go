@@ -1,9 +1,3 @@
-// Package expect implements expected-frequency baselines E_x[i][t] for the
-// discrepancy model of Eq. 7 in the paper: B(t, D_x[i]) = D_x[i][t] −
-// E_x[i][t]. The paper (§4, "Single Data Stream") leaves the baseline
-// pluggable — the average over all earlier snapshots, a recent-window
-// average, or seasonal data from previous timeframes — so each of those is
-// provided behind a common interface.
 package expect
 
 // Baseline predicts the expected next frequency of one series (a single

@@ -1,0 +1,33 @@
+// Package index holds the query-side data structures of the system: the
+// inverted index with Threshold Algorithm top-k retrieval, the immutable
+// corpus-wide pattern store, and the versioned snapshot codec that
+// persists it.
+//
+// # Inverted index and the Threshold Algorithm
+//
+// Index maps each term to a posting list sorted by per-term document
+// score. Multi-term top-k queries are answered by the Threshold Algorithm
+// of Fagin, Lotem and Naor (PODS'01 — reference [6] of the paper) with
+// sorted and random access and early termination on the threshold, as the
+// bursty-document search engine of §5 requires. Build with Add + Finalize,
+// query with TopK; TopKNaive is the exhaustive testing oracle.
+//
+// # Pattern store
+//
+// PatternSet is the immutable store behind stburst.PatternIndex: the
+// per-term output of one corpus-wide miner (regional STLocal windows,
+// combinatorial STComb patterns, or merged-stream temporal intervals),
+// keyed by interned term ID. It is safe for unlimited concurrent readers
+// and exposes Fingerprint, a canonical SHA-256 digest over the full
+// content used by the determinism suite and the snapshot codec.
+//
+// # Snapshots
+//
+// WriteSnapshot and ReadSnapshot serialize a PatternSet together with its
+// term strings into a versioned binary format guarded by two digests: a
+// stream checksum over every encoded byte, and the canonical fingerprint
+// proving the decoded patterns are bit-identical to the mined set.
+// Snapshot.Remap re-interns the patterns into a serving collection's
+// dictionary, completing the mine-once/serve-many pipeline
+// (stmine -all -o → stserve). The byte layout is specified in DESIGN.md.
+package index

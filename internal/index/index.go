@@ -1,9 +1,3 @@
-// Package index provides the inverted index and the Threshold Algorithm
-// (TA) of Fagin, Lotem and Naor (PODS'01 — reference [6] of the paper)
-// used by the bursty-document search engine (§5): each term maps to a
-// posting list sorted by per-term document score, and multi-term top-k
-// queries are answered by TA with sorted and random access and
-// early-termination on the threshold.
 package index
 
 import (

@@ -1,0 +1,23 @@
+// Package par provides the bounded worker pool underneath the corpus-wide
+// batch miners: a deterministic parallel for-each over an index range.
+//
+// # Determinism contract
+//
+// ForEach assigns indices to workers dynamically, so the *schedule* varies
+// run to run, but every index is processed exactly once and callers write
+// results only to their own index-addressed slot. As long as fn(i) is a
+// pure function of i — which the per-term miners are: each mines a private
+// STLocal/STComb instance over a private frequency surface — the assembled
+// result is bit-identical for every worker count, including 1. The
+// concurrency suite (concurrency_test.go at the repository root) asserts
+// this via the pattern index's canonical fingerprint, and the snapshot
+// pipeline (internal/index) extends the guarantee across processes.
+//
+// # Sizing
+//
+// Workers normalizes a requested worker count: values below 1 mean one
+// worker per available CPU (GOMAXPROCS), and the count is capped at the
+// job size so no goroutine is spawned without work. A panic in fn is
+// captured, sibling workers are drained, and the first panic re-raises on
+// the calling goroutine.
+package par

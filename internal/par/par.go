@@ -1,12 +1,3 @@
-// Package par provides the bounded worker pool underneath the corpus-wide
-// batch miners: a deterministic parallel for-each over an index range.
-//
-// Determinism contract: ForEach assigns indices to workers dynamically, so
-// the *schedule* varies run to run, but every index is processed exactly
-// once and callers write results only to their own index-addressed slot.
-// As long as fn(i) is a pure function of i (which the per-term miners are —
-// each mines a private STLocal/STComb instance over a private surface), the
-// assembled result is bit-identical for every worker count, including 1.
 package par
 
 import (

@@ -1,0 +1,33 @@
+// Package search implements the bursty-document search engine of §5 of
+// the paper and the corpus-wide batch miners that feed it.
+//
+// # Scoring and retrieval
+//
+// Documents are scored per query term as relevance × burstiness (Eq. 10),
+// where relevance is log(freq(t,d)+1) — the choice the paper found to
+// work best — and burstiness is the maximum score of the mined
+// spatiotemporal patterns of t that the document overlaps (Eq. 11, again
+// the paper's best-performing aggregate f). Top-k retrieval runs on an
+// inverted index via the Threshold Algorithm (internal/index).
+//
+// An Engine is built against one pattern type at a time (the paper: "a
+// separate instance is required for each type"): regional windows
+// (STLocal), combinatorial patterns (STComb), or purely temporal bursty
+// intervals with all streams merged (the TB comparison engine of §6.3).
+// The Burstiness adapters (WindowBurstiness, CombBurstiness,
+// TemporalBurstiness, and the kind-dispatching PatternBurstiness) bridge
+// mined pattern stores to the engine builder; BuildFromPatterns is the
+// path that consults an existing index.PatternSet instead of re-mining.
+//
+// # Corpus-wide batch mining
+//
+// MineWindowsPar, MineCombPatternsPar and MineTemporalPar mine the entire
+// vocabulary across a bounded worker pool (internal/par): the term list
+// is sorted into a deterministic work list, each worker mines one term at
+// a time on private miner instances over private frequency surfaces, and
+// results land in index-addressed slots — so the assembled per-term maps
+// are bit-identical for every worker count, and (because nothing depends
+// on map iteration or the process hash seed) across runs and processes.
+// TermsMined counts per-term miner invocations so tests can assert that
+// index-backed query paths never re-mine.
+package search

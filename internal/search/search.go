@@ -1,15 +1,3 @@
-// Package search implements the bursty-document search engine of §5 of
-// the paper: documents are scored per query term as relevance × burstiness
-// (Eq. 10), where relevance is log(freq(t,d)+1) — the choice the paper
-// found to work best — and burstiness is the maximum score of the mined
-// spatiotemporal patterns of t that the document overlaps (Eq. 11, again
-// the paper's best-performing aggregate f). Top-k retrieval runs on an
-// inverted index via the Threshold Algorithm.
-//
-// An Engine is built against one pattern type at a time (the paper:
-// "a separate instance is required for each type"): regional windows
-// (STLocal), combinatorial patterns (STComb), or purely temporal bursty
-// intervals with all streams merged (the TB comparison engine of §6.3).
 package search
 
 import (

@@ -1,10 +1,3 @@
-// Package stream models spatiotemporal document collections: a set of
-// document streams D = {D_1[·], ..., D_n[·]}, each fixed at a geographic
-// location (its geostamp), receiving sets of documents at discrete
-// timestamps (§2 of the paper). It provides the term dictionary, the
-// per-term frequency surfaces D_x[i][t] (Eq. 6) consumed by the pattern
-// miners, and the merged single-stream view used by the temporal-only TB
-// baseline.
 package stream
 
 import (

@@ -1,6 +1,8 @@
 package stburst
 
 import (
+	"fmt"
+	"io"
 	"sync"
 
 	"stburst/internal/index"
@@ -114,6 +116,50 @@ func (ix *PatternIndex) TemporalBursts(term string) []TemporalInterval {
 // content; the concurrency suite uses it to assert determinism across
 // worker counts and repeated runs.
 func (ix *PatternIndex) Fingerprint() string { return ix.set.Fingerprint() }
+
+// Save serializes the index to w in the versioned binary snapshot format
+// (see DESIGN.md for the layout): the patterns of every term, the term
+// strings themselves, and a canonical SHA-256 fingerprint footer that
+// LoadPatternIndex verifies on the way back in. Snapshots are the
+// mine-once/serve-many pipeline: mine the corpus with MineAll*, Save the
+// index, and every serving process loads it in milliseconds instead of
+// re-mining the vocabulary at boot.
+func (ix *PatternIndex) Save(w io.Writer) error {
+	return index.WriteSnapshot(w, ix.set, ix.c.col.Dict().Term)
+}
+
+// SaveFile saves the index as a snapshot file, atomically: the snapshot
+// is written to a temp file in the destination directory and renamed
+// over the target, so an interrupted save never leaves a truncated file.
+func (ix *PatternIndex) SaveFile(path string) error {
+	return index.WriteSnapshotFile(path, ix.set, ix.c.col.Dict().Term)
+}
+
+// LoadPatternIndex reads a snapshot written by PatternIndex.Save and
+// attaches it to a collection holding the same corpus. The snapshot's
+// integrity is verified against its embedded canonical fingerprint —
+// truncated or corrupted input is rejected with an error — and every
+// stored term is re-interned through the collection's dictionary, so the
+// loaded index answers lookups and searches exactly like the freshly
+// mined one. A snapshot mentioning a term the collection has never seen
+// is an error: it was mined from a different corpus.
+func LoadPatternIndex(r io.Reader, c *Collection) (*PatternIndex, error) {
+	snap, err := index.ReadSnapshot(r)
+	if err != nil {
+		return nil, fmt.Errorf("stburst: loading pattern index: %w", err)
+	}
+	set, err := snap.Remap(c.col.Dict().Lookup)
+	if err != nil {
+		return nil, fmt.Errorf("stburst: loading pattern index: %w", err)
+	}
+	// Vocabulary matching is not enough: a snapshot from a structurally
+	// different corpus (fewer streams, shorter timeline) would pass the
+	// checks above and panic later on the serving path.
+	if err := set.Validate(c.NumStreams(), c.Timeline()); err != nil {
+		return nil, fmt.Errorf("stburst: loading pattern index: snapshot does not fit the collection: %w", err)
+	}
+	return &PatternIndex{c: c, set: set}, nil
+}
 
 // Engine returns a search engine answering queries from the stored
 // patterns. The engine is built on first use and cached; no call ever

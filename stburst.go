@@ -2,9 +2,11 @@ package stburst
 
 import (
 	"fmt"
+	"io"
 
 	"stburst/internal/burst"
 	"stburst/internal/core"
+	"stburst/internal/corpusio"
 	"stburst/internal/expect"
 	"stburst/internal/geo"
 	"stburst/internal/stream"
@@ -178,6 +180,21 @@ func (c *Collection) AddText(streamIdx, time int, text string) (int, error) {
 // AddTokens adds a pre-tokenized document.
 func (c *Collection) AddTokens(streamIdx, time int, tokens []string) (int, error) {
 	return c.col.AddTokens(streamIdx, time, tokens)
+}
+
+// LoadCorpus reads a JSONL corpus in the interchange format emitted by
+// cmd/stgen (a topix header line followed by one document per line) and
+// returns the rebuilt collection, with stream locations projected by MDS
+// over their geographic distances as in §6.1 of the paper. Loading the
+// same corpus always interns terms in the same order, so a pattern-index
+// snapshot mined from a corpus loads cleanly into any collection rebuilt
+// from that corpus with LoadCorpus (see LoadPatternIndex).
+func LoadCorpus(r io.Reader) (*Collection, error) {
+	col, _, err := corpusio.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Collection{col: col, tok: textproc.NewTokenizer()}, nil
 }
 
 // NumDocs returns the number of documents added.
