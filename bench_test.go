@@ -9,8 +9,10 @@ package stburst
 // minutes; cmd/stbench exposes the full-scale runs.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -18,6 +20,7 @@ import (
 	"stburst/internal/core"
 	"stburst/internal/exp"
 	"stburst/internal/gen"
+	"stburst/internal/index"
 	"stburst/internal/search"
 )
 
@@ -96,6 +99,63 @@ func BenchmarkMineAllCombinatorial(b *testing.B) {
 				seq.Seconds()/par.Seconds())
 		}
 	})
+}
+
+// queryBenchSetup builds one pattern-set-backed STLocal engine over the
+// shared corpus and deterministically picks a reference term and window
+// (the lowest interned bursty term's top window), so the filtered and
+// unfiltered query benchmarks exercise the same index and query.
+func queryBenchSetup(b *testing.B) (*search.Engine, string, core.Window) {
+	b.Helper()
+	lab := sharedLab(b)
+	eng := search.BuildFromPatterns(lab.Col(), index.NewWindowSet(lab.Windows))
+	terms := make([]int, 0, len(lab.Windows))
+	for t := range lab.Windows {
+		terms = append(terms, t)
+	}
+	if len(terms) == 0 {
+		b.Fatal("no bursty terms in the benchmark corpus")
+	}
+	sort.Ints(terms)
+	term := terms[0]
+	return eng, lab.Col().Dict().Term(term), lab.Windows[term][0]
+}
+
+// BenchmarkQueryUnfiltered measures plain structured top-k retrieval, the
+// baseline for the overlap filter's overhead.
+func BenchmarkQueryUnfiltered(b *testing.B) {
+	eng, term, _ := queryBenchSetup(b)
+	q := search.Query{Text: term, K: 10}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryFiltered measures the same retrieval through the
+// spatiotemporal pattern-overlap post-filter (region and timespan pinned
+// to the reference window), so the filter's overhead is tracked release
+// over release.
+func BenchmarkQueryFiltered(b *testing.B) {
+	eng, term, w := queryBenchSetup(b)
+	q := search.Query{
+		Text:   term,
+		K:      10,
+		Region: &w.Rect,
+		Span:   &search.Timespan{Start: w.Start, End: w.End},
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkTable1TopPatterns(b *testing.B) {

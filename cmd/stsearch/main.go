@@ -1,6 +1,8 @@
 // Command stsearch answers bursty-document queries over a JSONL corpus
 // produced by stgen: it builds one of the three search engines of the
-// paper (§5–6.3) and prints the top-k documents for the query.
+// paper (§5–6.3) and prints the top-k documents for the query, optionally
+// restricted to a spatial region and/or timeframe (hits must have a
+// contributing pattern intersecting the filter).
 //
 // Usage:
 //
@@ -8,9 +10,12 @@
 //	stsearch -engine stlocal -q earthquake -k 10 < corpus.jsonl
 //	stsearch -engine stcomb  -q "air france" < corpus.jsonl
 //	stsearch -engine tb      -q fujimori < corpus.jsonl
+//	stsearch -q earthquake -region -10,-10,10,10 -from 4 -to 9 < corpus.jsonl
+//	stsearch -q earthquake -k 5 -offset 5 -min-score 1.5 < corpus.jsonl
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +23,8 @@ import (
 
 	"stburst/internal/core"
 	"stburst/internal/corpusio"
+	"stburst/internal/geo"
+	"stburst/internal/index"
 	"stburst/internal/search"
 )
 
@@ -26,6 +33,11 @@ func main() {
 		engineKind = flag.String("engine", "stlocal", "engine: stlocal, stcomb or tb")
 		query      = flag.String("q", "", "query terms (required)")
 		k          = flag.Int("k", 10, "number of documents to retrieve")
+		offset     = flag.Int("offset", 0, "number of ranked documents to skip (pagination)")
+		minScore   = flag.Float64("min-score", 0, "drop documents scoring below this threshold")
+		region     = flag.String("region", "", "spatial filter minX,minY,maxX,maxY: hits need a contributing pattern intersecting it")
+		from       = flag.Int("from", -1, "first timestamp of the temporal filter (inclusive; -1 = unbounded)")
+		to         = flag.Int("to", -1, "last timestamp of the temporal filter (inclusive; -1 = unbounded)")
 	)
 	flag.Parse()
 	if *query == "" {
@@ -42,32 +54,73 @@ func main() {
 		col.NumDocs(), col.NumStreams(), col.Length())
 
 	start := time.Now()
-	var eng *search.Engine
+	var ps *index.PatternSet
 	switch *engineKind {
-	case "stlocal":
-		eng = search.Build(col, search.WindowBurstiness(search.MineWindows(col, core.STLocalOptions{})))
-	case "stcomb":
-		eng = search.Build(col, search.CombBurstiness(search.MineCombPatterns(col, core.STCombOptions{})))
-	case "tb":
-		eng = search.Build(col, search.TemporalBurstiness(search.MineTemporal(col, nil)))
+	case "stlocal", "regional":
+		ps = index.NewWindowSet(search.MineWindows(col, core.STLocalOptions{}))
+	case "stcomb", "combinatorial":
+		ps = index.NewCombSet(search.MineCombPatterns(col, core.STCombOptions{}))
+	case "tb", "temporal":
+		ps = index.NewTemporalSet(search.MineTemporal(col, nil))
 	default:
 		fmt.Fprintf(os.Stderr, "stsearch: unknown engine %q\n", *engineKind)
 		os.Exit(2)
 	}
+	eng := search.BuildFromPatterns(col, ps)
 	fmt.Fprintf(os.Stderr, "%s engine built in %v\n", *engineKind, time.Since(start).Round(time.Millisecond))
 
-	rs := eng.Query(*query, *k)
-	if len(rs) == 0 {
+	q := search.Query{Text: *query, K: *k, Offset: *offset, MinScore: *minScore}
+	if *region != "" {
+		r, err := geo.ParseRect(*region)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stsearch: -region:", err)
+			os.Exit(2)
+		}
+		q.Region = &r
+	}
+	if *from >= 0 || *to >= 0 {
+		span := search.Timespan{Start: 0, End: col.Length() - 1}
+		if *from >= 0 {
+			span.Start = *from
+		}
+		if *to >= 0 {
+			span.End = *to
+		}
+		if span.Start > span.End {
+			// Only an explicit -from > -to is a user error. A one-sided
+			// bound past the data (e.g. -from beyond the timeline) is a
+			// valid empty range, matching stserve's ?from=&to= handling:
+			// degenerate it into a span that overlaps nothing.
+			if *to >= 0 {
+				fmt.Fprintf(os.Stderr, "stsearch: timespan [%d, %d] is inverted\n", span.Start, span.End)
+				os.Exit(2)
+			}
+			// -from is past the timeline (the only one-sided inversion:
+			// a lone -to can never undercut the default start of 0).
+			span.End = span.Start
+		}
+		q.Span = &span
+	}
+
+	page, err := eng.Run(context.Background(), q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stsearch:", err)
+		os.Exit(1)
+	}
+	if len(page.Results) == 0 {
 		fmt.Println("no bursty documents found for the query")
 		return
 	}
-	for i, r := range rs {
+	for i, r := range page.Results {
 		d := col.Doc(r.Doc)
 		label := ""
 		if labels != nil && labels[r.Doc] != 0 {
 			label = fmt.Sprintf("  [event %d]", labels[r.Doc])
 		}
 		fmt.Printf("%2d. doc %-7d %-22s week %-3d score %.3f%s\n",
-			i+1, r.Doc, col.Stream(d.Stream).Name, d.Time, r.Score, label)
+			*offset+i+1, r.Doc, col.Stream(d.Stream).Name, d.Time, r.Score, label)
+	}
+	if page.More {
+		fmt.Printf("(more hits beyond this page: re-run with -offset %d)\n", *offset+len(page.Results))
 	}
 }

@@ -9,12 +9,21 @@
 //	stmine -all -corpus corpus.jsonl -o snapshot.stb
 //	stserve -corpus corpus.jsonl -snapshot snapshot.stb -addr :8080
 //
-// Endpoints:
+// The stable contract is the versioned /v1/ JSON API:
 //
-//	GET /healthz          liveness probe
-//	GET /stats            index size, fingerprint, uptime, traffic counters
-//	GET /patterns/{term}  the stored patterns of a term (404 when none)
-//	GET /search?q=&k=     top-k bursty-document retrieval (Threshold Algorithm)
+//	POST /v1/search          structured spatiotemporal query: the body is
+//	                         the stburst.Query JSON shape ({"text": ...,
+//	                         "region": {"min_x": ...}, "time": {"start":
+//	                         ..., "end": ...}, "k": ..., "offset": ...,
+//	                         "min_score": ...})
+//	GET  /v1/patterns/{term} the stored patterns of a term (404 when
+//	                         none), filterable by ?region=minX,minY,maxX,maxY
+//	                         and ?from=&to= timestamps
+//	GET  /v1/stats           index size, fingerprint, uptime, traffic counters
+//	GET  /v1/healthz         liveness probe
+//
+// The pre-/v1 routes (GET /healthz, /stats, /patterns/{term},
+// /search?q=&k=) remain as aliases with their original response shapes.
 //
 // When -snapshot names a file that does not exist, stserve mines the
 // corpus with the batch miners (-method selects the pattern kind,
@@ -23,6 +32,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -112,17 +122,15 @@ func loadOrMine(c *stburst.Collection, path, method string, parallel int) (*stbu
 		log.Printf("snapshot %s does not exist; mining corpus", path)
 	}
 
+	kind, err := stburst.ParseKind(method)
+	if err != nil {
+		return nil, fmt.Errorf("-method: %w", err)
+	}
 	start := time.Now()
-	var ix *stburst.PatternIndex
-	switch method {
-	case "stlocal":
-		ix = c.MineAllRegional(nil, parallel)
-	case "stcomb":
-		ix = c.MineAllCombinatorial(nil, parallel)
-	case "tb", "temporal":
-		ix = c.MineAllTemporal(parallel)
-	default:
-		return nil, fmt.Errorf("unknown -method %q (want stlocal, stcomb or tb)", method)
+	ix, err := c.Mine(context.Background(), kind,
+		stburst.NewMineOptions(stburst.WithParallelism(parallel)))
+	if err != nil {
+		return nil, err
 	}
 	log.Printf("mined %d terms in %v", ix.NumTerms(), time.Since(start).Round(time.Millisecond))
 

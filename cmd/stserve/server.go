@@ -1,19 +1,36 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"stburst"
+	"stburst/internal/geo"
+	"stburst/internal/search"
 )
 
 // server is the HTTP query layer over one collection and one immutable
 // pattern index. All state reachable from request handlers is read-only
 // after construction (the index is immutable, the cached engine is built
 // behind a sync.Once), so any number of requests may run concurrently.
+//
+// The stable contract is the versioned /v1/ JSON API:
+//
+//	POST /v1/search          structured spatiotemporal query (stburst.Query JSON)
+//	GET  /v1/patterns/{term} stored patterns, filterable by ?region=&from=&to=
+//	GET  /v1/stats           index and traffic statistics
+//	GET  /v1/healthz         liveness probe
+//
+// The pre-/v1 routes (/healthz, /stats, /patterns/{term}, /search?q=&k=)
+// remain as aliases for existing clients.
 type server struct {
 	c  *stburst.Collection
 	ix *stburst.PatternIndex
@@ -21,24 +38,32 @@ type server struct {
 	// immutable and hashing it is O(total patterns), far too much per
 	// /stats poll.
 	fingerprint string
-	started     time.Time
-	requests    atomic.Int64
-	searches    atomic.Int64
-	mux         *http.ServeMux
+	// points caches the stream locations for the combinatorial
+	// pattern-vs-region intersection checks.
+	points   []stburst.Point
+	started  time.Time
+	requests atomic.Int64
+	searches atomic.Int64
+	mux      *http.ServeMux
 }
 
-// newServer wires the endpoint handlers:
-//
-//	GET /healthz          liveness probe
-//	GET /stats            index and traffic statistics
-//	GET /patterns/{term}  stored patterns of a term
-//	GET /search?q=&k=     TA-backed top-k bursty-document retrieval
+// newServer wires the endpoint handlers.
 func newServer(c *stburst.Collection, ix *stburst.PatternIndex) *server {
 	s := &server{c: c, ix: ix, fingerprint: ix.Fingerprint(), started: time.Now(), mux: http.NewServeMux()}
+	s.points = make([]stburst.Point, c.NumStreams())
+	for x := range s.points {
+		s.points[x] = c.Stream(x).Location
+	}
+	// The versioned contract.
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/patterns/{term}", s.handlePatterns)
+	s.mux.HandleFunc("POST /v1/search", s.handleSearchV1)
+	// Legacy aliases, kept verbatim for pre-/v1 clients.
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /patterns/{term}", s.handlePatterns)
-	s.mux.HandleFunc("GET /search", s.handleSearch)
+	s.mux.HandleFunc("GET /search", s.handleSearchLegacy)
 	return s
 }
 
@@ -47,12 +72,29 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// writeJSON encodes v into a buffer before touching the ResponseWriter,
+// so an encoding failure still produces a clean 500 (no header has been
+// written yet) instead of a truncated 200 body. Encode and write errors
+// are logged — a failed write after the header means the client is gone,
+// and the only remaining duty is to record it, never to write again.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encoding %T response: %v", v, err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		if _, err := fmt.Fprintln(w, `{"error":"internal: response encoding failed"}`); err != nil {
+			log.Printf("writing encoding-failure response: %v", err)
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if _, err := buf.WriteTo(w); err != nil {
+		log.Printf("writing response: %v", err)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
@@ -111,12 +153,62 @@ type patternJSON struct {
 	Intervals []intervalJSON `json:"intervals,omitempty"`
 }
 
-func (s *server) handlePatterns(w http.ResponseWriter, r *http.Request) {
-	term := r.PathValue("term")
+// parseSpan parses the ?from=&to= pair into a timespan. Either bound may
+// be omitted; the other defaults to the start or end of the timeline. A
+// one-sided bound beyond the timeline is a valid (empty) range, not an
+// inversion: only an explicit from > to is rejected, matching what
+// POST /v1/search accepts in its time field.
+func (s *server) parseSpan(from, to string) (*stburst.Timespan, error) {
+	if from == "" && to == "" {
+		return nil, nil
+	}
+	span := &stburst.Timespan{Start: 0, End: s.c.Timeline() - 1}
+	if from != "" {
+		v, err := strconv.Atoi(from)
+		if err != nil {
+			return nil, fmt.Errorf("from must be an integer timestamp, got %q", from)
+		}
+		span.Start = v
+	}
+	if to != "" {
+		v, err := strconv.Atoi(to)
+		if err != nil {
+			return nil, fmt.Errorf("to must be an integer timestamp, got %q", to)
+		}
+		span.End = v
+	}
+	if span.Start > span.End {
+		if from != "" && to != "" {
+			return nil, fmt.Errorf("timespan [%d, %d] is inverted", span.Start, span.End)
+		}
+		// Only the defaulted bound made it inverted (e.g. ?from= past the
+		// timeline): degenerate it into a span that overlaps nothing.
+		if from != "" {
+			span.End = span.Start
+		} else {
+			span.Start = span.End
+		}
+	}
+	return span, nil
+}
+
+// patterns assembles the JSON form of a term's stored patterns that
+// intersect the given region/timespan (nil filters match everything).
+// Intersection is decided by the same per-kind predicates the search
+// engine's post-filter uses (search.WindowIntersects etc.), so the two
+// /v1 routes can never disagree about what "intersects" means.
+func (s *server) patterns(term string, region *stburst.Rect, span *stburst.Timespan) []patternJSON {
+	var sp *search.Timespan
+	if span != nil {
+		sp = &search.Timespan{Start: span.Start, End: span.End}
+	}
 	var patterns []patternJSON
 	switch s.ix.Kind() {
 	case "regional":
 		for _, p := range s.ix.RegionalPatterns(term) {
+			if !search.WindowIntersects(p, region, sp) {
+				continue
+			}
 			patterns = append(patterns, patternJSON{
 				Start: p.Start, End: p.End, Score: p.Score,
 				Rect:    &rectJSON{MinX: p.Rect.MinX, MinY: p.Rect.MinY, MaxX: p.Rect.MaxX, MaxY: p.Rect.MaxY},
@@ -125,6 +217,9 @@ func (s *server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		}
 	case "combinatorial":
 		for _, p := range s.ix.CombinatorialPatterns(term) {
+			if !search.CombIntersects(p, s.points, region, sp) {
+				continue
+			}
 			pj := patternJSON{
 				Start: p.Start, End: p.End, Score: p.Score,
 				Streams: s.streamNames(p.Streams),
@@ -139,9 +234,35 @@ func (s *server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		}
 	case "temporal":
 		for _, p := range s.ix.TemporalBursts(term) {
+			if !search.TemporalIntersects(p, sp) {
+				continue
+			}
 			patterns = append(patterns, patternJSON{Start: p.Start, End: p.End, Score: p.Score})
 		}
 	}
+	return patterns
+}
+
+// handlePatterns serves GET /v1/patterns/{term}?region=&from=&to= and
+// the legacy GET /patterns/{term} alias (which simply never defined the
+// filter parameters; sending them there filters identically).
+func (s *server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	term := r.PathValue("term")
+	var region *stburst.Rect
+	if raw := r.URL.Query().Get("region"); raw != "" {
+		rect, err := geo.ParseRect(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		region = &rect
+	}
+	span, err := s.parseSpan(r.URL.Query().Get("from"), r.URL.Query().Get("to"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	patterns := s.patterns(term, region, span)
 	if len(patterns) == 0 {
 		writeError(w, http.StatusNotFound, "no patterns for term "+strconv.Quote(term))
 		return
@@ -160,7 +281,54 @@ type hitJSON struct {
 	Score  float64 `json:"score"`
 }
 
-func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+// runQuery executes a structured query and writes the response shared by
+// both search routes. The request context is threaded through, so a
+// client that disconnects mid-query cancels the retrieval loop.
+func (s *server) runQuery(w http.ResponseWriter, r *http.Request, q stburst.Query) {
+	s.searches.Add(1)
+	start := time.Now()
+	page, err := s.ix.Query(r.Context(), q)
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client is gone; there is no one left to answer.
+		log.Printf("search cancelled: %v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	hits := make([]hitJSON, len(page.Hits))
+	for i, h := range page.Hits {
+		hits[i] = hitJSON{Doc: h.Doc.ID, Stream: h.Stream, Time: h.Doc.Time, Score: h.Score}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"query":   q,
+		"took_ms": float64(time.Since(start).Microseconds()) / 1000,
+		// count is the size of *this page*; with offset paging the full
+		// result-set size is unknown (the TA never enumerates it), and
+		// more flags whether later pages exist.
+		"count": len(hits),
+		"more":  page.More,
+		"hits":  hits,
+	})
+}
+
+// handleSearchV1 answers POST /v1/search: the body is the stburst.Query
+// JSON shape, validated by Engine.Run via Query.Validate.
+func (s *server) handleSearchV1(w http.ResponseWriter, r *http.Request) {
+	var q stburst.Query
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&q); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid query body: "+err.Error())
+		return
+	}
+	s.runQuery(w, r, q)
+}
+
+// handleSearchLegacy answers the pre-/v1 GET /search?q=&k= route with the
+// original response shape.
+func (s *server) handleSearchLegacy(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		writeError(w, http.StatusBadRequest, "missing query parameter q")
@@ -176,9 +344,17 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.searches.Add(1)
 	start := time.Now()
-	hits := s.ix.Search(q, k)
-	out := make([]hitJSON, len(hits))
-	for i, h := range hits {
+	page, err := s.ix.Query(r.Context(), stburst.Query{Text: q, K: k})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("search cancelled: %v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	out := make([]hitJSON, len(page.Hits))
+	for i, h := range page.Hits {
 		out[i] = hitJSON{Doc: h.Doc.ID, Stream: h.Stream, Time: h.Doc.Time, Score: h.Score}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -218,5 +219,209 @@ func TestServerConcurrentReads(t *testing.T) {
 	}
 	for g := 0; g < 8; g++ {
 		<-done
+	}
+}
+
+// postJSON performs a POST with a JSON body against the handler.
+func postJSON(t *testing.T, h http.Handler, url, body string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("%s: invalid JSON response %q: %v", url, rec.Body.String(), err)
+	}
+	return rec.Code, out
+}
+
+func TestServerV1Aliases(t *testing.T) {
+	c := serveCollection(t)
+	ix := c.MineAllRegional(nil, 0)
+	s := newServer(c, ix)
+	if code, body := get(t, s, "/v1/healthz"); code != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("GET /v1/healthz = %d %v, want 200 ok", code, body)
+	}
+	code, body := get(t, s, "/v1/stats")
+	if code != http.StatusOK || body["fingerprint"] != ix.Fingerprint() {
+		t.Errorf("GET /v1/stats = %d %v, want the index fingerprint", code, body)
+	}
+	if code, _ := get(t, s, "/v1/patterns/earthquake"); code != http.StatusOK {
+		t.Errorf("GET /v1/patterns/earthquake = %d, want 200", code)
+	}
+}
+
+// TestServerV1SearchRoundTrip: POST /v1/search returns exactly the hits
+// the in-process Query produces, for plain and filtered queries.
+func TestServerV1SearchRoundTrip(t *testing.T) {
+	c := serveCollection(t)
+	ix := c.MineAllRegional(nil, 0)
+	s := newServer(c, ix)
+	cases := []struct {
+		name string
+		body string
+		q    stburst.Query
+	}{
+		{"plain", `{"text":"earthquake","k":5}`, stburst.Query{Text: "earthquake", K: 5}},
+		{"terms", `{"terms":["earthquake","rescue"],"k":5}`, stburst.Query{Terms: []string{"earthquake", "rescue"}, K: 5}},
+		{"region", `{"text":"earthquake","k":50,"region":{"min_x":-1,"min_y":-1,"max_x":4,"max_y":3}}`,
+			stburst.Query{Text: "earthquake", K: 50, Region: &stburst.Rect{MinX: -1, MinY: -1, MaxX: 4, MaxY: 3}}},
+		{"time", `{"text":"earthquake","k":50,"time":{"start":5,"end":7}}`,
+			stburst.Query{Text: "earthquake", K: 50, Time: &stburst.Timespan{Start: 5, End: 7}}},
+		{"paged", `{"text":"earthquake","k":3,"offset":2}`, stburst.Query{Text: "earthquake", K: 3, Offset: 2}},
+		{"min_score", `{"text":"earthquake","k":50,"min_score":1}`, stburst.Query{Text: "earthquake", K: 50, MinScore: 1}},
+		{"no hits", `{"text":"markets","k":5}`, stburst.Query{Text: "markets", K: 5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := ix.Query(context.Background(), tc.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			code, body := postJSON(t, s, "/v1/search", tc.body)
+			if code != http.StatusOK {
+				t.Fatalf("POST /v1/search = %d %v, want 200", code, body)
+			}
+			hits, _ := body["hits"].([]any)
+			if len(hits) != len(want.Hits) {
+				t.Fatalf("HTTP returned %d hits, in-process %d", len(hits), len(want.Hits))
+			}
+			for i, raw := range hits {
+				h := raw.(map[string]any)
+				if int(h["doc"].(float64)) != want.Hits[i].Doc.ID ||
+					h["stream"] != want.Hits[i].Stream ||
+					int(h["time"].(float64)) != want.Hits[i].Doc.Time ||
+					h["score"].(float64) != want.Hits[i].Score {
+					t.Errorf("hit %d: HTTP %v, in-process %+v", i, h, want.Hits[i])
+				}
+			}
+			if more, _ := body["more"].(bool); more != want.More {
+				t.Errorf("more = %v over HTTP, %v in process", more, want.More)
+			}
+		})
+	}
+}
+
+func TestServerV1SearchValidation(t *testing.T) {
+	c := serveCollection(t)
+	s := newServer(c, c.MineAllRegional(nil, 0))
+	bodies := []string{
+		`not json`,
+		`{}`,
+		`{"text":"a","terms":["b"]}`,
+		`{"text":"a","k":-1}`,
+		`{"text":"a","offset":-1}`,
+		`{"text":"a","region":{"min_x":5,"max_x":1,"min_y":0,"max_y":1}}`,
+		`{"text":"a","time":{"start":9,"end":2}}`,
+		`{"text":"a","bogus_field":1}`,
+	}
+	for _, body := range bodies {
+		if code, out := postJSON(t, s, "/v1/search", body); code != http.StatusBadRequest {
+			t.Errorf("POST /v1/search %s = %d %v, want 400", body, code, out)
+		} else if _, ok := out["error"]; !ok {
+			t.Errorf("POST /v1/search %s: 400 body missing error field: %v", body, out)
+		}
+	}
+	// GET on the v1 search route is not allowed.
+	req := httptest.NewRequest(http.MethodGet, "/v1/search", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/search = %d, want 405", rec.Code)
+	}
+}
+
+// TestServerV1PatternsFiltered: region/from/to prune the stored patterns
+// and an all-excluding filter reads as 404.
+func TestServerV1PatternsFiltered(t *testing.T) {
+	c := serveCollection(t)
+	s := newServer(c, c.MineAllRegional(nil, 0))
+
+	code, body := get(t, s, "/v1/patterns/earthquake")
+	if code != http.StatusOK {
+		t.Fatalf("unfiltered = %d, want 200", code)
+	}
+	total := len(body["patterns"].([]any))
+
+	// The burst lives at weeks 5-7 around lima/quito; a matching filter
+	// keeps every pattern.
+	code, body = get(t, s, "/v1/patterns/earthquake?from=5&to=7")
+	if code != http.StatusOK || len(body["patterns"].([]any)) != total {
+		t.Errorf("matching time filter = %d with %v patterns, want all %d", code, body["patterns"], total)
+	}
+	// Before the burst: nothing.
+	if code, body = get(t, s, "/v1/patterns/earthquake?from=0&to=2"); code != http.StatusNotFound {
+		t.Errorf("pre-burst time filter = %d %v, want 404", code, body)
+	}
+	// A region far outside every stream: nothing.
+	if code, body = get(t, s, "/v1/patterns/earthquake?region=1000,1000,1001,1001"); code != http.StatusNotFound {
+		t.Errorf("far region filter = %d %v, want 404", code, body)
+	}
+	// A region over the burst pair keeps at least one pattern.
+	code, body = get(t, s, "/v1/patterns/earthquake?region=-1,-1,4,3")
+	if code != http.StatusOK || len(body["patterns"].([]any)) == 0 {
+		t.Errorf("burst region filter = %d %v, want patterns", code, body)
+	}
+	// Malformed filters are 400s.
+	for _, url := range []string{
+		"/v1/patterns/earthquake?region=1,2,3",
+		"/v1/patterns/earthquake?region=a,b,c,d",
+		"/v1/patterns/earthquake?region=5,5,1,1",
+		"/v1/patterns/earthquake?from=x",
+		"/v1/patterns/earthquake?from=9&to=2",
+	} {
+		if code, body := get(t, s, url); code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d %v, want 400", url, code, body)
+		}
+	}
+}
+
+// TestWriteJSONEncodeFailure: an unencodable value yields a clean 500
+// JSON error, not a half-written 200.
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]any{"bad": make(chan int)})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("500 body is not JSON: %q", rec.Body.String())
+	}
+	if _, ok := out["error"]; !ok {
+		t.Fatalf("500 body missing error field: %v", out)
+	}
+}
+
+// TestServerV1SearchResourceLimits: a single request cannot demand an
+// unbounded page (stburst.MaxK caps K and Offset at validation time).
+func TestServerV1SearchResourceLimits(t *testing.T) {
+	c := serveCollection(t)
+	s := newServer(c, c.MineAllRegional(nil, 0))
+	for _, body := range []string{
+		`{"text":"earthquake","k":500000000}`,
+		`{"text":"earthquake","k":5,"offset":4000000000}`,
+	} {
+		if code, out := postJSON(t, s, "/v1/search", body); code != http.StatusBadRequest {
+			t.Errorf("POST /v1/search %s = %d %v, want 400", body, code, out)
+		}
+	}
+}
+
+// TestServerV1PatternsOpenEndedSpan: a one-sided from/to past the data
+// is a valid empty range (404: nothing survives), not a 400 inversion —
+// only an explicit from > to is rejected.
+func TestServerV1PatternsOpenEndedSpan(t *testing.T) {
+	c := serveCollection(t) // timeline 12
+	s := newServer(c, c.MineAllRegional(nil, 0))
+	if code, body := get(t, s, "/v1/patterns/earthquake?from=100"); code != http.StatusNotFound {
+		t.Errorf("?from=100 (past the timeline) = %d %v, want 404", code, body)
+	}
+	if code, body := get(t, s, "/v1/patterns/earthquake?to=-5"); code != http.StatusNotFound {
+		t.Errorf("?to=-5 (before the timeline) = %d %v, want 404", code, body)
+	}
+	if code, body := get(t, s, "/v1/patterns/earthquake?from=100&to=2"); code != http.StatusBadRequest {
+		t.Errorf("explicit from>to = %d %v, want 400", code, body)
 	}
 }

@@ -32,20 +32,50 @@
 //	// ... add more documents ...
 //
 //	patterns := c.RegionalPatterns("earthquake", nil)
-//	engine := stburst.NewRegionalEngine(c, nil)
-//	hits := engine.Search("earthquake", 10)
+//	ix, err := c.Mine(ctx, stburst.KindRegional, nil)
+//	hits := ix.Search("earthquake", 10)
+//
+// # Structured queries
+//
+// Every mined pattern carries a Rect and a [Start, End] timeframe, and
+// the Query type makes both first-class in retrieval: "bursty documents
+// about X, in this region, during this timeframe". A hit survives a
+// Region/Time filter only if, for some query term, a contributing
+// pattern — one that overlaps the document — intersects the filter.
+// Queries also paginate (K/Offset), threshold (MinScore), and honor
+// context cancellation:
+//
+//	page, err := ix.Query(ctx, stburst.Query{
+//	    Text:   "earthquake rescue",
+//	    Region: &stburst.Rect{MinX: -80, MinY: -20, MaxX: -60, MaxY: 0},
+//	    Time:   &stburst.Timespan{Start: 15, End: 20},
+//	    K:      10,
+//	})
+//	// page.Hits is the filtered ranked page; page.More flags later pages.
+//
+// Engine.Search(query, k) remains as a thin free-text wrapper over the
+// same path.
 //
 // # Corpus-wide batch mining
 //
-// Mining term by term does not scale to whole vocabularies. The batch
-// miners fan the corpus out across a bounded worker pool (parallelism
-// < 1 uses one worker per CPU; any worker count yields bit-identical
-// output) and return a PatternIndex — a cached, query-ready store that
-// answers pattern lookups and repeated searches without ever re-mining:
+// Mining term by term does not scale to whole vocabularies.
+// Collection.Mine fans the corpus out across a bounded worker pool
+// (MineOptions.Parallelism < 1 uses one worker per CPU; any worker count
+// yields bit-identical output), honors context cancellation on the way,
+// and returns a PatternIndex — a cached, query-ready store that answers
+// pattern lookups and repeated searches without ever re-mining:
 //
-//	ix := c.MineAllRegional(nil, 0) // one worker per CPU
+//	ix, err := c.Mine(ctx, stburst.KindRegional,
+//	    stburst.NewMineOptions(stburst.WithParallelism(0)))
 //	top := ix.RegionalPatterns("earthquake")
 //	hits := ix.Search("earthquake rescue", 10) // engine built once, cached
+//
+// The MineAll* methods (MineAllRegional, MineAllCombinatorial,
+// MineAllTemporal) are non-cancellable positional conveniences over
+// Mine. The pre-index engine constructors NewRegionalEngine,
+// NewCombinatorialEngine and NewTemporalEngine are deprecated: they mine
+// with a background context and throw the index away, so prefer Mine
+// followed by PatternIndex.Engine or PatternIndex.Query.
 //
 // # Snapshots: mine once, serve many
 //
@@ -67,12 +97,15 @@
 // cmd/stgen, interning deterministically so snapshots round-trip across
 // processes with byte-identical fingerprints. The CLI pipeline mirrors
 // the API: stgen generates a corpus, stmine -all -o mines it into a
-// snapshot, and stserve loads the snapshot and serves /patterns/{term},
-// /search, /stats and /healthz over HTTP off the immutable index.
+// snapshot, and stserve loads the snapshot and serves the versioned
+// /v1 JSON API — POST /v1/search (the Query JSON shape),
+// GET /v1/patterns/{term} with region/from/to filters, /v1/stats and
+// /v1/healthz — plus the legacy unversioned aliases, off the immutable
+// index.
 //
 // See README.md for the CLI tour, the examples directory for runnable
 // end-to-end programs, and DESIGN.md for the system inventory, the
-// snapshot format specification and the concurrency contracts of the
-// mining engine; cmd/stbench reproduces every table and figure of the
-// paper's evaluation.
+// request flow of the /v1 service, the snapshot format specification and
+// the concurrency contracts of the mining engine; cmd/stbench reproduces
+// every table and figure of the paper's evaluation.
 package stburst

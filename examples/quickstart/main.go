@@ -1,8 +1,11 @@
 // Quickstart: build a tiny spatiotemporal collection, mine both kinds of
-// burstiness patterns for a term, and run a bursty-document search.
+// burstiness patterns for a term, and run bursty-document searches — a
+// free-text one, and a structured Query restricted to a region and
+// timeframe.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,9 +52,31 @@ func main() {
 		fmt.Printf("  weeks [%d,%d]  score %.2f  streams %v\n", p.Start, p.End, p.Score, p.Streams)
 	}
 
+	// Mine the whole vocabulary once; the index answers every query.
+	ix, err := c.Mine(context.Background(), stburst.KindRegional, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("== bursty-document search ==")
-	engine := stburst.NewRegionalEngine(c, nil)
-	for _, h := range engine.Search("earthquake rescue", 5) {
+	for _, h := range ix.Search("earthquake rescue", 5) {
+		fmt.Printf("  doc %d from %s at week %d (score %.2f)\n",
+			h.Doc.ID, h.Stream, h.Doc.Time, h.Score)
+	}
+
+	// The same retrieval as a structured query: only documents whose
+	// contributing patterns touch the Andes during weeks 5-7.
+	fmt.Println("== structured query: near the Andes, weeks 5-7 ==")
+	page, err := ix.Query(context.Background(), stburst.Query{
+		Text:   "earthquake rescue",
+		K:      5,
+		Region: &stburst.Rect{MinX: -5, MinY: -5, MaxX: 10, MaxY: 10},
+		Time:   &stburst.Timespan{Start: 5, End: 7},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range page.Hits {
 		fmt.Printf("  doc %d from %s at week %d (score %.2f)\n",
 			h.Doc.ID, h.Stream, h.Doc.Time, h.Score)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -63,7 +64,40 @@ func main() {
 		}
 		fmt.Println()
 	}
-	show("regional", stburst.NewRegionalEngine(c, nil).Search("gadget launch", 4))
-	show("comb", stburst.NewCombinatorialEngine(c, nil).Search("gadget launch", 4))
-	show("temporal", stburst.NewTemporalEngine(c).Search("gadget launch", 4))
+	ctx := context.Background()
+	indexes := map[stburst.Kind]*stburst.PatternIndex{}
+	for _, kind := range []stburst.Kind{stburst.KindRegional, stburst.KindCombinatorial, stburst.KindTemporal} {
+		ix, err := c.Mine(ctx, kind, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		indexes[kind] = ix
+		show(kind.String(), ix.Search("gadget launch", 4))
+	}
+
+	// Structured queries isolate each wave by asking where and when:
+	// the US launch near the west coast at weeks 4-6, the European one
+	// around Berlin/Paris at weeks 14-16.
+	fmt.Println("\n== structured queries: one wave at a time (regional engine) ==")
+	ix := indexes[stburst.KindRegional]
+	waves := []struct {
+		name   string
+		region stburst.Rect
+		time   stburst.Timespan
+	}{
+		{"US wave", stburst.Rect{MinX: -5, MinY: -5, MaxX: 10, MaxY: 10}, stburst.Timespan{Start: 4, End: 6}},
+		{"EU wave", stburst.Rect{MinX: 70, MinY: 5, MaxX: 90, MaxY: 20}, stburst.Timespan{Start: 14, End: 16}},
+	}
+	for _, wave := range waves {
+		page, err := ix.Query(ctx, stburst.Query{
+			Text:   "gadget launch",
+			K:      4,
+			Region: &wave.region,
+			Time:   &wave.time,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		show(wave.name, page.Hits)
+	}
 }

@@ -9,6 +9,8 @@ package geo
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 )
 
 // Point is a location on the 2-D map onto which streams are projected.
@@ -18,9 +20,36 @@ type Point struct {
 
 // Rect is an axis-oriented rectangle on the 2-D map, closed on all sides.
 // STLocal restricts bursty regions to this shape to keep the mining
-// problem polynomial (§4).
+// problem polynomial (§4). The JSON tags define the wire form of the
+// /v1 query API's region field.
 type Rect struct {
-	MinX, MinY, MaxX, MaxY float64
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
+// ParseRect parses the textual "minX,minY,maxX,maxY" rectangle form
+// shared by the CLI flags and the HTTP query parameters, rejecting
+// malformed and inverted input.
+func ParseRect(raw string) (Rect, error) {
+	parts := strings.Split(raw, ",")
+	if len(parts) != 4 {
+		return Rect{}, fmt.Errorf("region must be minX,minY,maxX,maxY, got %q", raw)
+	}
+	var vals [4]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return Rect{}, fmt.Errorf("region coordinate %q is not a number", p)
+		}
+		vals[i] = v
+	}
+	r := Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
+	if r.MinX > r.MaxX || r.MinY > r.MaxY {
+		return Rect{}, fmt.Errorf("region %q is inverted", raw)
+	}
+	return r, nil
 }
 
 // Contains reports whether p lies inside the closed rectangle.

@@ -292,3 +292,18 @@ func BenchmarkMDS181(b *testing.B) {
 		}
 	}
 }
+
+func TestParseRect(t *testing.T) {
+	r, err := ParseRect(" -1, 2.5 ,3,4 ")
+	if err != nil || r != (Rect{MinX: -1, MinY: 2.5, MaxX: 3, MaxY: 4}) {
+		t.Fatalf("ParseRect = %v, %v", r, err)
+	}
+	if r, err := ParseRect("5,5,5,5"); err != nil || r != (Rect{5, 5, 5, 5}) {
+		t.Fatalf("degenerate rect rejected: %v, %v", r, err)
+	}
+	for _, raw := range []string{"", "1,2,3", "1,2,3,4,5", "a,b,c,d", "5,0,1,1", "0,5,1,1"} {
+		if _, err := ParseRect(raw); err == nil {
+			t.Errorf("ParseRect(%q) accepted", raw)
+		}
+	}
+}

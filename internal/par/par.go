@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -29,21 +30,37 @@ func Workers(requested, n int) int {
 // a panic in fn propagates to the caller of ForEach (the first one wins,
 // remaining workers are drained).
 func ForEach(n, workers int, fn func(i int)) {
+	// Background is never cancelled, so the error is impossible.
+	ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: each worker checks
+// ctx before claiming the next index and stops dispatching once the
+// context is cancelled. Calls already in flight run to completion — fn is
+// never interrupted mid-item — so on cancellation some indices may have
+// been processed and others not. It returns ctx.Err() when the context
+// was cancelled before every index was dispatched, and nil after a
+// complete pass.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	w := Workers(workers, n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		panicked any
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		panicked  any
+		cancelled atomic.Bool
 	)
 	wg.Add(w)
 	for g := 0; g < w; g++ {
@@ -61,6 +78,15 @@ func ForEach(n, workers int, fn func(i int)) {
 				}
 			}()
 			for {
+				if ctx.Err() != nil {
+					// Only a cancellation that leaves indices undispatched
+					// makes the pass incomplete; mirrors the sequential path,
+					// which never re-checks after the final call.
+					if next.Load() < int64(n) {
+						cancelled.Store(true)
+					}
+					return
+				}
 				i := next.Add(1) - 1
 				if i >= int64(n) {
 					return
@@ -73,4 +99,8 @@ func ForEach(n, workers int, fn func(i int)) {
 	if panicked != nil {
 		panic(panicked)
 	}
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -68,6 +70,66 @@ func TestForEachSequentialOrder(t *testing.T) {
 	for i, v := range got {
 		if v != i {
 			t.Fatalf("sequential order violated: %v", got)
+		}
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := atomic.Int64{}
+		err := ForEachCtx(ctx, 100, workers, func(int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d calls ran under a pre-cancelled context", workers, ran.Load())
+		}
+	}
+}
+
+func TestForEachCtxMidCancelSequential(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int
+	err := ForEachCtx(ctx, 100, 1, func(i int) {
+		ran++
+		if i == 4 {
+			cancel() // observed before the next dispatch
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 5 {
+		t.Fatalf("ran %d calls, want 5 (cancellation never interrupts a call in flight)", ran)
+	}
+}
+
+func TestForEachCtxMidCancelParallel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := atomic.Int64{}
+	err := ForEachCtx(ctx, 10_000, 4, func(i int) {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n == 10_000 {
+		t.Fatal("cancellation did not stop dispatch early")
+	}
+}
+
+func TestForEachCtxCompletePass(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ran := atomic.Int64{}
+		if err := ForEachCtx(context.Background(), 50, workers, func(int) { ran.Add(1) }); err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if ran.Load() != 50 {
+			t.Fatalf("workers=%d: ran %d of 50", workers, ran.Load())
 		}
 	}
 }

@@ -17,17 +17,30 @@
 // The Burstiness adapters (WindowBurstiness, CombBurstiness,
 // TemporalBurstiness, and the kind-dispatching PatternBurstiness) bridge
 // mined pattern stores to the engine builder; BuildFromPatterns is the
-// path that consults an existing index.PatternSet instead of re-mining.
+// path that consults an existing index.PatternSet instead of re-mining,
+// and the only path that retains the set for filtered queries.
+//
+// # Structured queries
+//
+// Engine.Run executes a Query: term resolution, TA retrieval, the
+// spatiotemporal pattern-overlap post-filter (a hit survives only if a
+// contributing pattern of some query term intersects the query Region
+// and/or Span), MinScore thresholding and Offset/K pagination, with the
+// context checked between retrieval rounds so long queries cancel
+// promptly. Engine.Query remains the plain free-text top-k entry point
+// and is byte-identical to an unfiltered Run.
 //
 // # Corpus-wide batch mining
 //
-// MineWindowsPar, MineCombPatternsPar and MineTemporalPar mine the entire
-// vocabulary across a bounded worker pool (internal/par): the term list
-// is sorted into a deterministic work list, each worker mines one term at
-// a time on private miner instances over private frequency surfaces, and
-// results land in index-addressed slots — so the assembled per-term maps
-// are bit-identical for every worker count, and (because nothing depends
-// on map iteration or the process hash seed) across runs and processes.
+// MineWindowsParCtx, MineCombPatternsParCtx and MineTemporalParCtx (and
+// their non-cancellable *Par wrappers) mine the entire vocabulary across
+// a bounded worker pool (internal/par): the term list is sorted into a
+// deterministic work list, each worker mines one term at a time on
+// private miner instances over private frequency surfaces, and results
+// land in index-addressed slots — so the assembled per-term maps are
+// bit-identical for every worker count, and (because nothing depends on
+// map iteration or the process hash seed) across runs and processes. A
+// cancelled context stops dispatching terms and surfaces ctx.Err().
 // TermsMined counts per-term miner invocations so tests can assert that
 // index-backed query paths never re-mine.
 package search

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
 
@@ -32,31 +33,37 @@ func sortedCorpusTerms(col *stream.Collection) []int {
 // assembles the per-term results into a map, dropping empty results. Each
 // worker invocation mines one term through fn, which must be safe for
 // concurrent use (the per-term miners are: every call builds private
-// miner/baseline instances over a private frequency surface).
-func mineAll[P any](col *stream.Collection, workers int, fn func(term int) []P) map[int][]P {
+// miner/baseline instances over a private frequency surface). A cancelled
+// context stops dispatching further terms and returns ctx.Err(); per-term
+// mining already in flight runs to completion, so cancellation is prompt
+// but never interrupts a miner mid-term.
+func mineAll[P any](ctx context.Context, col *stream.Collection, workers int, fn func(term int) []P) (map[int][]P, error) {
 	terms := sortedCorpusTerms(col)
 	results := make([][]P, len(terms))
-	par.ForEach(len(terms), workers, func(i int) {
+	if err := par.ForEachCtx(ctx, len(terms), workers, func(i int) {
 		termsMined.Add(1)
 		results[i] = fn(terms[i])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	out := make(map[int][]P, len(terms))
 	for i, term := range terms {
 		if len(results[i]) > 0 {
 			out[term] = results[i]
 		}
 	}
-	return out
+	return out, nil
 }
 
-// MineWindowsPar runs STLocal over every term of the collection with the
-// given worker count (<1 means one worker per CPU) and returns the
+// MineWindowsParCtx runs STLocal over every term of the collection with
+// the given worker count (<1 means one worker per CPU) and returns the
 // per-term maximal windows. Output is identical to MineWindows for every
 // worker count: terms are mined independently, each on a private miner
-// instance with baselines created through the options' factory.
-func MineWindowsPar(col *stream.Collection, opts core.STLocalOptions, workers int) map[int][]core.Window {
+// instance with baselines created through the options' factory. A
+// cancelled context aborts the run with ctx.Err().
+func MineWindowsParCtx(ctx context.Context, col *stream.Collection, opts core.STLocalOptions, workers int) (map[int][]core.Window, error) {
 	points := col.Points()
-	return mineAll(col, workers, func(term int) []core.Window {
+	return mineAll(ctx, col, workers, func(term int) []core.Window {
 		ws, err := core.MineLocal(col.Surface(term), points, opts)
 		if err != nil {
 			// Surfaces are always well-formed here; an error indicates a
@@ -67,23 +74,43 @@ func MineWindowsPar(col *stream.Collection, opts core.STLocalOptions, workers in
 	})
 }
 
-// MineCombPatternsPar runs STComb over every term of the collection with
-// the given worker count (<1 means one worker per CPU) and returns the
-// per-term combinatorial patterns.
-func MineCombPatternsPar(col *stream.Collection, opts core.STCombOptions, workers int) map[int][]core.CombPattern {
-	return mineAll(col, workers, func(term int) []core.CombPattern {
+// MineWindowsPar is MineWindowsParCtx without cancellation.
+func MineWindowsPar(col *stream.Collection, opts core.STLocalOptions, workers int) map[int][]core.Window {
+	ws, _ := MineWindowsParCtx(context.Background(), col, opts, workers)
+	return ws
+}
+
+// MineCombPatternsParCtx runs STComb over every term of the collection
+// with the given worker count (<1 means one worker per CPU) and returns
+// the per-term combinatorial patterns. A cancelled context aborts the run
+// with ctx.Err().
+func MineCombPatternsParCtx(ctx context.Context, col *stream.Collection, opts core.STCombOptions, workers int) (map[int][]core.CombPattern, error) {
+	return mineAll(ctx, col, workers, func(term int) []core.CombPattern {
 		return core.STComb(col.Surface(term), opts)
 	})
 }
 
-// MineTemporalPar extracts per-term temporal bursty intervals over the
+// MineCombPatternsPar is MineCombPatternsParCtx without cancellation.
+func MineCombPatternsPar(col *stream.Collection, opts core.STCombOptions, workers int) map[int][]core.CombPattern {
+	ps, _ := MineCombPatternsParCtx(context.Background(), col, opts, workers)
+	return ps
+}
+
+// MineTemporalParCtx extracts per-term temporal bursty intervals over the
 // merged stream with the given detector (nil uses the discrepancy default)
-// and worker count (<1 means one worker per CPU).
-func MineTemporalPar(col *stream.Collection, det burst.Detector, workers int) map[int][]burst.Interval {
+// and worker count (<1 means one worker per CPU). A cancelled context
+// aborts the run with ctx.Err().
+func MineTemporalParCtx(ctx context.Context, col *stream.Collection, det burst.Detector, workers int) (map[int][]burst.Interval, error) {
 	if det == nil {
 		det = burst.Discrepancy{}
 	}
-	return mineAll(col, workers, func(term int) []burst.Interval {
+	return mineAll(ctx, col, workers, func(term int) []burst.Interval {
 		return det.Detect(col.MergedSeries(term))
 	})
+}
+
+// MineTemporalPar is MineTemporalParCtx without cancellation.
+func MineTemporalPar(col *stream.Collection, det burst.Detector, workers int) map[int][]burst.Interval {
+	ivs, _ := MineTemporalParCtx(context.Background(), col, det, workers)
+	return ivs
 }

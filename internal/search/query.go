@@ -1,0 +1,217 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"strings"
+
+	"stburst/internal/burst"
+	"stburst/internal/core"
+	"stburst/internal/geo"
+	"stburst/internal/index"
+)
+
+// Timespan is an inclusive timeframe [Start, End] on the collection's
+// discrete timeline.
+type Timespan struct {
+	Start, End int
+}
+
+// Overlaps reports whether the inclusive timeframe [start, end]
+// intersects the span.
+func (ts Timespan) Overlaps(start, end int) bool {
+	return start <= ts.End && ts.Start <= end
+}
+
+// Query is a structured spatiotemporal search request. Terms takes
+// precedence when non-empty; otherwise Text is tokenized with the
+// engine's pipeline (mirroring the indexing side). Region and Span
+// restrict hits to documents with a *contributing* pattern — one that
+// overlaps the document for some query term — intersecting the given
+// rectangle and/or timeframe (the pattern-overlap post-filter over
+// Eq. 10/11 scoring). MinScore drops hits whose aggregate score falls
+// below the threshold, and Offset/K window the surviving ranked list.
+type Query struct {
+	Text     string
+	Terms    []int // pre-interned term IDs; overrides Text when non-empty
+	Region   *geo.Rect
+	Span     *Timespan
+	K        int
+	Offset   int
+	MinScore float64
+}
+
+// Page is one window of a ranked result list.
+type Page struct {
+	Results []Result
+	// More reports whether hits beyond this page exist (i.e. a request
+	// with a larger Offset would return something).
+	More bool
+}
+
+// ErrNoPatternSet is returned for spatiotemporally filtered queries on an
+// engine built from a bare Burstiness closure: without the pattern set
+// there is nothing to intersect the filter against.
+var ErrNoPatternSet = errors.New("search: engine was built without a pattern set; Region/Span filters require BuildFromPatterns")
+
+// Run executes a structured query: top-k retrieval with the Threshold
+// Algorithm, the pattern-overlap post-filter for Region/Span, MinScore
+// thresholding and Offset/K pagination. The context is checked between
+// retrieval rounds, so long queries are cancellable; a cancelled context
+// returns ctx.Err(). An unknown query term yields an empty page (Eq. 10:
+// a term with no patterns or documents zeroes the query), not an error.
+func (e *Engine) Run(ctx context.Context, q Query) (Page, error) {
+	if err := ctx.Err(); err != nil {
+		return Page{}, err
+	}
+	if (q.Region != nil || q.Span != nil) && e.ps == nil {
+		return Page{}, ErrNoPatternSet
+	}
+	if q.K <= 0 || q.Offset < 0 {
+		return Page{}, nil
+	}
+	terms := q.Terms
+	if len(terms) == 0 {
+		for _, t := range e.tok.Tokenize(strings.ToLower(q.Text)) {
+			id, ok := e.col.Dict().Lookup(t)
+			if !ok {
+				return Page{}, nil
+			}
+			terms = append(terms, id)
+		}
+	}
+	if len(terms) == 0 {
+		return Page{}, nil
+	}
+
+	pass := e.overlapFilter(terms, q.Region, q.Span)
+	need := q.Offset + q.K
+	if need < 0 {
+		return Page{}, nil // K+Offset overflowed; nothing sane to page
+	}
+	// Fetch one hit beyond the page to learn whether more exist; with a
+	// post-filter in play, double the fetch depth until enough hits
+	// survive or the index is exhausted. The capacity hint is bounded:
+	// K/Offset are caller-controlled (unauthenticated over HTTP), and the
+	// slice should grow with actual hits, not with the request's ambition.
+	capHint := need + 1
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	kept := make([]Result, 0, capHint)
+	for fetch := need + 1; ; fetch *= 2 {
+		if err := ctx.Err(); err != nil {
+			return Page{}, err
+		}
+		rs := e.idx.TopK(terms, fetch, index.MissingExcludes)
+		exhausted := len(rs) < fetch
+		kept = kept[:0]
+		for _, r := range rs {
+			if r.Score < q.MinScore {
+				// Results are score-descending: nothing below the
+				// threshold can follow a qualifying hit.
+				exhausted = true
+				break
+			}
+			if pass != nil && !pass(r.Doc) {
+				continue
+			}
+			kept = append(kept, Result{Doc: r.Doc, Score: r.Score})
+			if len(kept) > need {
+				break
+			}
+		}
+		if len(kept) > need || exhausted {
+			break
+		}
+	}
+
+	if q.Offset >= len(kept) {
+		return Page{}, nil
+	}
+	end := q.Offset + q.K
+	more := len(kept) > end
+	if end > len(kept) {
+		end = len(kept)
+	}
+	out := make([]Result, end-q.Offset)
+	copy(out, kept[q.Offset:end])
+	return Page{Results: out, More: more}, nil
+}
+
+// WindowIntersects reports whether a regional window intersects the
+// filter: its rectangle meets the region and its timeframe meets the
+// span (nil halves match everything). It is the single definition of
+// "pattern intersects the filter" for the regional kind, shared by the
+// engine's post-filter and the serving layer's pattern listings.
+func WindowIntersects(w core.Window, region *geo.Rect, span *Timespan) bool {
+	if region != nil && !w.Rect.Intersects(*region) {
+		return false
+	}
+	return span == nil || span.Overlaps(w.Start, w.End)
+}
+
+// CombIntersects reports whether a combinatorial pattern intersects the
+// filter: some member stream's location (points is the collection's
+// stream-location table) lies inside the region, and the pattern's
+// common segment meets the span.
+func CombIntersects(p core.CombPattern, points []geo.Point, region *geo.Rect, span *Timespan) bool {
+	if region != nil {
+		inside := false
+		for _, x := range p.Streams {
+			if region.Contains(points[x]) {
+				inside = true
+				break
+			}
+		}
+		if !inside {
+			return false
+		}
+	}
+	return span == nil || span.Overlaps(p.Start, p.End)
+}
+
+// TemporalIntersects reports whether a merged-stream temporal interval
+// intersects the filter. Temporal intervals deliberately disregard
+// geography, so they span the whole map and every region intersects
+// them; only the span constrains.
+func TemporalIntersects(iv burst.Interval, span *Timespan) bool {
+	return span == nil || span.Overlaps(iv.Start, iv.End)
+}
+
+// overlapFilter returns the post-filter for a query: a document survives
+// iff, for some query term, a pattern of that term both overlaps the
+// document (the same overlap notion used at indexing time) and intersects
+// the query region/timespan under the kind's Intersects predicate above.
+// A nil filter means no restriction.
+func (e *Engine) overlapFilter(terms []int, region *geo.Rect, span *Timespan) func(doc int) bool {
+	if region == nil && span == nil {
+		return nil
+	}
+	return func(doc int) bool {
+		d := e.col.Doc(doc)
+		for _, t := range terms {
+			switch e.ps.Kind() {
+			case index.KindRegional:
+				for _, w := range e.ps.Windows(t) {
+					if w.Overlaps(d.Stream, d.Time) && WindowIntersects(w, region, span) {
+						return true
+					}
+				}
+			case index.KindCombinatorial:
+				for _, p := range e.ps.Combs(t) {
+					if p.OverlapsMember(d.Stream, d.Time) && CombIntersects(p, e.points, region, span) {
+						return true
+					}
+				}
+			case index.KindTemporal:
+				for _, iv := range e.ps.Temporal(t) {
+					if d.Time >= iv.Start && d.Time <= iv.End && TemporalIntersects(iv, span) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,151 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"stburst/internal/core"
+	"stburst/internal/geo"
+	"stburst/internal/index"
+)
+
+// stlocalEngine builds a pattern-set-backed STLocal engine over the
+// shared test collection.
+func stlocalEngine(t *testing.T) *Engine {
+	t.Helper()
+	col := testCollection(t)
+	return BuildFromPatterns(col, index.NewWindowSet(MineWindows(col, core.STLocalOptions{})))
+}
+
+// TestRunMatchesQuery: an unfiltered Run is the Query path with
+// pagination metadata.
+func TestRunMatchesQuery(t *testing.T) {
+	e := stlocalEngine(t)
+	for _, q := range []string{"quake", "quake damage", "nosuchterm"} {
+		for _, k := range []int{1, 3, 100} {
+			legacy := e.Query(q, k)
+			page, err := e.Run(context.Background(), Query{Text: q, K: k})
+			if err != nil {
+				t.Fatalf("Run(%q, %d): %v", q, k, err)
+			}
+			got := page.Results
+			if len(got) == 0 {
+				got = nil
+			}
+			if !reflect.DeepEqual(legacy, got) {
+				t.Errorf("Run(%q, %d) diverges from Query: %v vs %v", q, k, legacy, got)
+			}
+		}
+	}
+}
+
+// TestRunRegionFilter: the post-filter keeps exactly the unfiltered hits
+// with a contributing window intersecting the region (brute-force
+// oracle; note a window may span streams far outside the region — any
+// intersecting contributor keeps the hit).
+func TestRunRegionFilter(t *testing.T) {
+	e := stlocalEngine(t)
+	term, ok := e.col.Dict().Lookup("quake")
+	if !ok {
+		t.Fatal("quake not interned")
+	}
+	all, err := e.Run(context.Background(), Query{Text: "quake", K: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Results) == 0 {
+		t.Fatal("no unfiltered hits")
+	}
+	for _, region := range []geo.Rect{
+		{MinX: -1, MinY: -1, MaxX: 1, MaxY: 1},
+		{MinX: 99, MinY: 99, MaxX: 101, MaxY: 101},
+		{MinX: 40, MinY: 40, MaxX: 60, MaxY: 60},
+		{MinX: -10, MinY: -10, MaxX: -5, MaxY: -5},
+	} {
+		var want []Result
+		for _, r := range all.Results {
+			d := e.col.Doc(r.Doc)
+			for _, w := range e.ps.Windows(term) {
+				if w.Overlaps(d.Stream, d.Time) && w.Rect.Intersects(region) {
+					want = append(want, r)
+					break
+				}
+			}
+		}
+		page, err := e.Run(context.Background(), Query{Text: "quake", K: 100, Region: &region})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := page.Results
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("region %v: got %d hits, brute force wants %d", region, len(got), len(want))
+		}
+	}
+}
+
+// TestRunSpanFilter: the temporal filter requires a contributing pattern
+// intersecting the span — not merely a document inside it.
+func TestRunSpanFilter(t *testing.T) {
+	e := stlocalEngine(t)
+	burst := Timespan{Start: 2, End: 3}
+	page, err := e.Run(context.Background(), Query{Text: "quake", K: 100, Span: &burst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Results) == 0 {
+		t.Fatal("span over the burst matched nothing")
+	}
+	outside := Timespan{Start: 5, End: 5}
+	page, err = e.Run(context.Background(), Query{Text: "quake", K: 100, Span: &outside})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Results) != 0 {
+		t.Errorf("span outside every pattern matched %d hits", len(page.Results))
+	}
+}
+
+// TestRunWithoutPatternSet: engines built from a bare Burstiness closure
+// reject filtered queries but answer plain ones.
+func TestRunWithoutPatternSet(t *testing.T) {
+	col := testCollection(t)
+	e := Build(col, WindowBurstiness(MineWindows(col, core.STLocalOptions{})))
+	if _, err := e.Run(context.Background(), Query{Text: "quake", K: 5}); err != nil {
+		t.Fatalf("plain Run on a closure-built engine: %v", err)
+	}
+	r := geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	if _, err := e.Run(context.Background(), Query{Text: "quake", K: 5, Region: &r}); !errors.Is(err, ErrNoPatternSet) {
+		t.Fatalf("filtered Run on a closure-built engine: err = %v, want ErrNoPatternSet", err)
+	}
+}
+
+// TestRunCancelledContext: cancellation is observed before retrieval.
+func TestRunCancelledContext(t *testing.T) {
+	e := stlocalEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Run(ctx, Query{Text: "quake", K: 5}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestMineCtxCancelled: the ctx-aware corpus miners abort with ctx.Err().
+func TestMineCtxCancelled(t *testing.T) {
+	col := testCollection(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MineWindowsParCtx(ctx, col, core.STLocalOptions{}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MineWindowsParCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := MineCombPatternsParCtx(ctx, col, core.STCombOptions{}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MineCombPatternsParCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := MineTemporalParCtx(ctx, col, nil, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MineTemporalParCtx: err = %v, want context.Canceled", err)
+	}
+}

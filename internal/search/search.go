@@ -6,6 +6,7 @@ import (
 
 	"stburst/internal/burst"
 	"stburst/internal/core"
+	"stburst/internal/geo"
 	"stburst/internal/index"
 	"stburst/internal/stream"
 	"stburst/internal/textproc"
@@ -23,6 +24,13 @@ type Engine struct {
 	col *stream.Collection
 	idx *index.Index
 	tok *textproc.Tokenizer
+	// ps is the pattern set the engine was built from, when built through
+	// BuildFromPatterns. It powers the spatiotemporal post-filter of Run;
+	// engines built from a bare Burstiness closure (Build) have none and
+	// reject filtered queries.
+	ps *index.PatternSet
+	// points caches the stream locations for combinatorial region checks.
+	points []geo.Point
 }
 
 // Result is one retrieved document.
@@ -155,9 +163,14 @@ func PatternBurstiness(ps *index.PatternSet) Burstiness {
 
 // BuildFromPatterns indexes the collection against an already-mined
 // pattern set: the engine-build path that consults the pattern index
-// instead of re-mining the corpus.
+// instead of re-mining the corpus. Unlike Build, the resulting engine
+// retains the pattern set and therefore answers spatiotemporally filtered
+// queries (Query.Region / Query.Span).
 func BuildFromPatterns(col *stream.Collection, ps *index.PatternSet) *Engine {
-	return Build(col, PatternBurstiness(ps))
+	e := Build(col, PatternBurstiness(ps))
+	e.ps = ps
+	e.points = col.Points()
+	return e
 }
 
 // MineWindows runs STLocal over every term of the collection on a single

@@ -1,6 +1,7 @@
 package stburst
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -8,6 +9,118 @@ import (
 	"stburst/internal/index"
 	"stburst/internal/search"
 )
+
+// Kind identifies a pattern type and the miner that produces it.
+type Kind int
+
+const (
+	// KindRegional selects STLocal regional windows (§4).
+	KindRegional Kind = iota
+	// KindCombinatorial selects STComb combinatorial patterns (§3).
+	KindCombinatorial
+	// KindTemporal selects merged-stream temporal intervals (the TB
+	// comparison system of §6.3).
+	KindTemporal
+)
+
+// String returns the kind's name: "regional", "combinatorial" or
+// "temporal".
+func (k Kind) String() string { return index.PatternKind(k).String() }
+
+// ParseKind resolves a kind name, accepting both the pattern names
+// (regional, combinatorial, temporal) and the paper's miner names
+// (stlocal, stcomb, tb) the CLI tools historically used.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "regional", "stlocal":
+		return KindRegional, nil
+	case "combinatorial", "stcomb":
+		return KindCombinatorial, nil
+	case "temporal", "tb":
+		return KindTemporal, nil
+	}
+	return 0, fmt.Errorf("stburst: unknown pattern kind %q (want regional/stlocal, combinatorial/stcomb or temporal/tb)", s)
+}
+
+// MineOptions configures Collection.Mine. The zero value (or a nil
+// pointer) mines with the paper's defaults on one worker per CPU.
+// Options are assembled functional-style with NewMineOptions, or built
+// literally.
+type MineOptions struct {
+	// Parallelism is the mining worker count: < 1 means one worker per
+	// CPU, 1 reproduces the sequential loop exactly, and every value
+	// yields bit-identical output.
+	Parallelism int
+	// Regional tunes KindRegional mining; nil uses the paper's defaults.
+	Regional *RegionalOptions
+	// Combinatorial tunes KindCombinatorial mining; nil uses the paper's
+	// defaults.
+	Combinatorial *CombinatorialOptions
+}
+
+// MineOption mutates a MineOptions functional-style.
+type MineOption func(*MineOptions)
+
+// NewMineOptions assembles a MineOptions from functional options.
+func NewMineOptions(opts ...MineOption) *MineOptions {
+	mo := &MineOptions{}
+	for _, o := range opts {
+		o(mo)
+	}
+	return mo
+}
+
+// WithParallelism sets the mining worker count (< 1 means one worker per
+// CPU).
+func WithParallelism(n int) MineOption {
+	return func(mo *MineOptions) { mo.Parallelism = n }
+}
+
+// WithRegional sets the STLocal options used by KindRegional mining.
+func WithRegional(o *RegionalOptions) MineOption {
+	return func(mo *MineOptions) { mo.Regional = o }
+}
+
+// WithCombinatorial sets the STComb options used by KindCombinatorial
+// mining.
+func WithCombinatorial(o *CombinatorialOptions) MineOption {
+	return func(mo *MineOptions) { mo.Combinatorial = o }
+}
+
+// Mine mines patterns of the given kind for every term of the corpus and
+// returns the resulting pattern index — the unified, cancellable entry
+// point behind the MineAll* convenience methods. The vocabulary is fanned
+// out across a bounded worker pool; any parallelism yields bit-identical
+// output (each term is mined independently on a private miner). A
+// cancelled context stops dispatching further terms and returns ctx.Err()
+// promptly — mining already in flight finishes its current term first. A
+// nil opts mines with the paper's defaults on one worker per CPU.
+func (c *Collection) Mine(ctx context.Context, kind Kind, opts *MineOptions) (*PatternIndex, error) {
+	if opts == nil {
+		opts = &MineOptions{}
+	}
+	switch kind {
+	case KindRegional:
+		windows, err := search.MineWindowsParCtx(ctx, c.col, opts.Regional.coreOptions(), opts.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		return &PatternIndex{c: c, set: index.NewWindowSet(windows)}, nil
+	case KindCombinatorial:
+		patterns, err := search.MineCombPatternsParCtx(ctx, c.col, opts.Combinatorial.coreOptions(), opts.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		return &PatternIndex{c: c, set: index.NewCombSet(patterns)}, nil
+	case KindTemporal:
+		temporal, err := search.MineTemporalParCtx(ctx, c.col, nil, opts.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		return &PatternIndex{c: c, set: index.NewTemporalSet(temporal)}, nil
+	}
+	return nil, fmt.Errorf("stburst: unknown pattern kind %d", kind)
+}
 
 // PatternIndex is a cached, query-ready store of spatiotemporal patterns
 // mined across the entire corpus vocabulary, keyed by term. It is built
@@ -26,36 +139,44 @@ type PatternIndex struct {
 }
 
 // MineAllRegional mines STLocal regional patterns for every term of the
-// corpus and returns the resulting pattern index. The vocabulary is fanned
-// out across a bounded worker pool: parallelism < 1 uses one worker per
-// CPU, 1 reproduces the sequential loop exactly, and any value yields
-// bit-identical output (each term is mined independently on a private
-// miner whose baselines come from the options' factory). A nil opts uses
-// the paper's defaults.
+// corpus and returns the resulting pattern index: Mine with KindRegional,
+// a background context, and positional options. parallelism < 1 uses one
+// worker per CPU, 1 reproduces the sequential loop exactly, and any value
+// yields bit-identical output (each term is mined independently on a
+// private miner whose baselines come from the options' factory). A nil
+// opts uses the paper's defaults.
 func (c *Collection) MineAllRegional(opts *RegionalOptions, parallelism int) *PatternIndex {
-	windows := search.MineWindowsPar(c.col, opts.coreOptions(), parallelism)
-	return &PatternIndex{c: c, set: index.NewWindowSet(windows)}
+	ix, _ := c.Mine(context.Background(), KindRegional,
+		&MineOptions{Regional: opts, Parallelism: parallelism})
+	return ix
 }
 
 // MineAllCombinatorial mines STComb combinatorial patterns for every term
-// of the corpus and returns the resulting pattern index. Parallelism
-// semantics match MineAllRegional. A nil opts uses the paper's defaults.
+// of the corpus and returns the resulting pattern index: Mine with
+// KindCombinatorial and a background context. Parallelism semantics match
+// MineAllRegional. A nil opts uses the paper's defaults.
 func (c *Collection) MineAllCombinatorial(opts *CombinatorialOptions, parallelism int) *PatternIndex {
-	patterns := search.MineCombPatternsPar(c.col, opts.coreOptions(), parallelism)
-	return &PatternIndex{c: c, set: index.NewCombSet(patterns)}
+	ix, _ := c.Mine(context.Background(), KindCombinatorial,
+		&MineOptions{Combinatorial: opts, Parallelism: parallelism})
+	return ix
 }
 
 // MineAllTemporal extracts every term's bursty temporal intervals on the
 // merged stream (the temporal-only TB system of §6.3) and returns the
-// resulting pattern index. Parallelism semantics match MineAllRegional.
+// resulting pattern index: Mine with KindTemporal and a background
+// context. Parallelism semantics match MineAllRegional.
 func (c *Collection) MineAllTemporal(parallelism int) *PatternIndex {
-	temporal := search.MineTemporalPar(c.col, nil, parallelism)
-	return &PatternIndex{c: c, set: index.NewTemporalSet(temporal)}
+	ix, _ := c.Mine(context.Background(), KindTemporal,
+		&MineOptions{Parallelism: parallelism})
+	return ix
 }
 
 // Kind names the pattern type the index stores: "regional",
 // "combinatorial" or "temporal".
 func (ix *PatternIndex) Kind() string { return ix.set.Kind().String() }
+
+// PatternKind returns the typed pattern kind the index stores.
+func (ix *PatternIndex) PatternKind() Kind { return Kind(ix.set.Kind()) }
 
 // Terms returns every term holding at least one pattern, in ascending
 // interned-ID (i.e. first-seen) order.

@@ -1,0 +1,176 @@
+package stburst
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"stburst/internal/search"
+)
+
+// Timespan is an inclusive timeframe [Start, End] on the collection's
+// discrete timeline, the temporal half of every mined pattern.
+type Timespan struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Overlaps reports whether the inclusive timeframe [start, end]
+// intersects the span.
+func (ts Timespan) Overlaps(start, end int) bool {
+	return start <= ts.End && ts.Start <= end
+}
+
+// Query is a structured spatiotemporal search request, the first-class
+// way to ask the §5 retrieval model for "bursty documents about X, in
+// this region, during this timeframe".
+//
+// Exactly one of Text (free text, tokenized with the collection's
+// pipeline) or Terms (pre-normalized query terms) must be set. Region and
+// Time restrict the hits to documents with a contributing pattern — a
+// pattern of some query term that overlaps the document — intersecting
+// the rectangle and/or timeframe: regional windows intersect through
+// their rectangle, combinatorial patterns through their member streams'
+// locations, and temporal intervals (mined on the merged stream,
+// deliberately geography-free) span the whole map. MinScore drops hits
+// scoring below the threshold, and Offset/K page through the ranked list.
+//
+// The zero K asks for DefaultK results.
+type Query struct {
+	Text     string    `json:"text,omitempty"`
+	Terms    []string  `json:"terms,omitempty"`
+	Region   *Rect     `json:"region,omitempty"`
+	Time     *Timespan `json:"time,omitempty"`
+	K        int       `json:"k,omitempty"`
+	Offset   int       `json:"offset,omitempty"`
+	MinScore float64   `json:"min_score,omitempty"`
+}
+
+// DefaultK is the page size used when Query.K is zero.
+const DefaultK = 10
+
+// MaxK bounds Query.K and Query.Offset. Queries are an unauthenticated
+// surface through cmd/stserve, and both values size retrieval work —
+// without a ceiling a single request could demand a multi-gigabyte page.
+const MaxK = 1 << 20
+
+// Validate checks the query's shape: exactly one of Text or Terms set,
+// K and Offset in [0, MaxK], a finite MinScore, a non-inverted Region
+// (zero-area rectangles are valid: Rect is closed, so a degenerate
+// rectangle still intersects patterns containing that point) and a
+// non-inverted Time. It does not consult any collection — unknown terms
+// are not an error, they simply match nothing (Eq. 10).
+func (q Query) Validate() error {
+	hasText := q.Text != ""
+	hasTerms := len(q.Terms) > 0
+	switch {
+	case !hasText && !hasTerms:
+		return fmt.Errorf("stburst: query needs Text or Terms")
+	case hasText && hasTerms:
+		return fmt.Errorf("stburst: query must set exactly one of Text or Terms")
+	}
+	if q.K < 0 || q.K > MaxK {
+		return fmt.Errorf("stburst: query K must be in [0, %d], got %d", MaxK, q.K)
+	}
+	if q.Offset < 0 || q.Offset > MaxK {
+		return fmt.Errorf("stburst: query Offset must be in [0, %d], got %d", MaxK, q.Offset)
+	}
+	if math.IsNaN(q.MinScore) || math.IsInf(q.MinScore, 0) {
+		return fmt.Errorf("stburst: query MinScore must be finite")
+	}
+	if r := q.Region; r != nil && (r.MinX > r.MaxX || r.MinY > r.MaxY) {
+		return fmt.Errorf("stburst: query Region is inverted: %v", *r)
+	}
+	if t := q.Time; t != nil && t.Start > t.End {
+		return fmt.Errorf("stburst: query Time is inverted: [%d, %d]", t.Start, t.End)
+	}
+	return nil
+}
+
+// k returns the effective page size.
+func (q Query) k() int {
+	if q.K == 0 {
+		return DefaultK
+	}
+	return q.K
+}
+
+// ResultPage is one window of a ranked result list.
+type ResultPage struct {
+	// Hits holds the hits [Offset, Offset+K) of the filtered ranked list;
+	// nil when the page is past the end of the results.
+	Hits []Hit
+	// More reports whether hits beyond this page exist.
+	More bool
+}
+
+// Run executes a structured query against the engine's mined patterns:
+// Threshold-Algorithm top-k retrieval, the spatiotemporal pattern-overlap
+// post-filter for Region/Time, MinScore thresholding and Offset/K
+// pagination. The context is checked between retrieval rounds, so long
+// queries are cancellable; a cancelled context returns ctx.Err(). A
+// query term absent from every pattern yields an empty page, not an
+// error. Plain Search(query, k) is a thin wrapper over Run.
+func (e *Engine) Run(ctx context.Context, q Query) (ResultPage, error) {
+	if err := q.Validate(); err != nil {
+		return ResultPage{}, err
+	}
+	sq := search.Query{K: q.k(), Offset: q.Offset, MinScore: q.MinScore}
+	if q.Region != nil {
+		r := *q.Region
+		sq.Region = &r
+	}
+	if q.Time != nil {
+		sq.Span = &search.Timespan{Start: q.Time.Start, End: q.Time.End}
+	}
+	if len(q.Terms) > 0 {
+		ids, ok := e.resolveTerms(q.Terms)
+		if !ok {
+			return ResultPage{}, nil // some term matches nothing: Eq. 10
+		}
+		sq.Terms = ids
+	} else {
+		sq.Text = q.Text
+	}
+	page, err := e.eng.Run(ctx, sq)
+	if err != nil {
+		return ResultPage{}, err
+	}
+	if len(page.Results) == 0 {
+		return ResultPage{More: page.More}, nil
+	}
+	hits := make([]Hit, len(page.Results))
+	for i, r := range page.Results {
+		d := e.c.Doc(r.Doc)
+		hits[i] = Hit{Doc: d, Score: r.Score, Stream: e.c.Stream(d.Stream).Name}
+	}
+	return ResultPage{Hits: hits, More: page.More}, nil
+}
+
+// resolveTerms normalizes pre-split query terms through the collection's
+// tokenizer (a multi-word entry contributes every token) and interns
+// them. It reports false when any entry resolves to a term the
+// collection has never seen, or when nothing survives tokenization —
+// under Eq. 10 such a query retrieves nothing.
+func (e *Engine) resolveTerms(terms []string) ([]int, bool) {
+	var ids []int
+	for _, t := range terms {
+		for _, tok := range e.c.tok.Tokenize(t) {
+			id, ok := e.c.col.Dict().Lookup(tok)
+			if !ok {
+				return nil, false
+			}
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, false
+	}
+	return ids, true
+}
+
+// Query executes a structured query against the stored patterns, building
+// the cached engine on first use. See Engine.Run.
+func (ix *PatternIndex) Query(ctx context.Context, q Query) (ResultPage, error) {
+	return ix.Engine().Run(ctx, q)
+}

@@ -1,6 +1,8 @@
 package stburst
 
 import (
+	"context"
+
 	"stburst/internal/core"
 	"stburst/internal/search"
 )
@@ -15,9 +17,11 @@ type Hit struct {
 
 // Engine is a bursty-document search engine (§5 of the paper): it
 // retrieves documents that are both relevant to the query and inside
-// mined spatiotemporal burstiness patterns. Build one engine per pattern
-// type with NewRegionalEngine, NewCombinatorialEngine or
-// NewTemporalEngine.
+// mined spatiotemporal burstiness patterns. Build one with
+// Collection.Mine (or the MineAll* batch miners) and PatternIndex.Engine;
+// structured queries — including Region/Time filters, pagination and
+// score thresholds — go through Run, and Search remains the free-text
+// convenience wrapper.
 type Engine struct {
 	c   *Collection
 	eng *search.Engine
@@ -26,9 +30,13 @@ type Engine struct {
 // NewRegionalEngine builds a search engine over STLocal regional
 // patterns, mining every term of the collection in parallel (one worker
 // per CPU; the output is identical to the sequential loop). A nil opts
-// uses the paper's defaults. To reuse the mined patterns — or to answer
-// repeated queries without rebuilding — mine once with MineAllRegional
-// and use the returned PatternIndex instead.
+// uses the paper's defaults.
+//
+// Deprecated: use Collection.Mine with KindRegional — it is cancellable,
+// reports errors, and returns the PatternIndex so the mined patterns can
+// be reused and saved; its Engine method (or PatternIndex.Query) answers
+// searches. NewRegionalEngine mines with a background context and
+// discards the index.
 func NewRegionalEngine(c *Collection, opts *RegionalOptions) *Engine {
 	return c.MineAllRegional(opts, 0).Engine()
 }
@@ -36,6 +44,9 @@ func NewRegionalEngine(c *Collection, opts *RegionalOptions) *Engine {
 // NewCombinatorialEngine builds a search engine over STComb combinatorial
 // patterns, mining every term of the collection in parallel. A nil opts
 // uses the paper's defaults.
+//
+// Deprecated: use Collection.Mine with KindCombinatorial. See
+// NewRegionalEngine for the rationale.
 func NewCombinatorialEngine(c *Collection, opts *CombinatorialOptions) *Engine {
 	return c.MineAllCombinatorial(opts, 0).Engine()
 }
@@ -43,23 +54,26 @@ func NewCombinatorialEngine(c *Collection, opts *CombinatorialOptions) *Engine {
 // NewTemporalEngine builds the temporal-only comparison engine (the TB
 // system of §6.3): burstiness is mined on the merged stream, in parallel,
 // and the documents' origins are disregarded.
+//
+// Deprecated: use Collection.Mine with KindTemporal. See
+// NewRegionalEngine for the rationale.
 func NewTemporalEngine(c *Collection) *Engine {
 	return c.MineAllTemporal(0).Engine()
 }
 
 // Search retrieves the top-k documents for a free-text query. Documents
-// must overlap a burstiness pattern of every query term (Eq. 10/11).
+// must overlap a burstiness pattern of every query term (Eq. 10/11). It
+// is a thin wrapper over Run with no spatiotemporal filter; use Run for
+// Region/Time restrictions, pagination and score thresholds.
 func (e *Engine) Search(query string, k int) []Hit {
-	rs := e.eng.Query(query, k)
-	out := make([]Hit, len(rs))
-	for i, r := range rs {
-		d := e.c.Doc(r.Doc)
-		out[i] = Hit{Doc: d, Score: r.Score, Stream: e.c.Stream(d.Stream).Name}
-	}
-	if len(out) == 0 {
+	if k <= 0 {
 		return nil
 	}
-	return out
+	page, err := e.Run(context.Background(), Query{Text: query, K: k})
+	if err != nil || len(page.Hits) == 0 {
+		return nil
+	}
+	return page.Hits
 }
 
 // Best returns the highest-scoring regional pattern of a slice, if any.

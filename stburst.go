@@ -320,9 +320,20 @@ type CombinatorialMiner struct {
 }
 
 // NewCombinatorialMiner creates a streaming combinatorial miner over n
-// streams.
-func NewCombinatorialMiner(n int) *CombinatorialMiner {
-	return &CombinatorialMiner{m: core.NewOnlineSTComb(n, nil)}
+// streams. A nil opts keeps the defaults (matching the batch miner's
+// convention). MinIntervalScore, MinIntervalMass and MaxPatterns carry
+// over from batch mining — with MinIntervalScore on the online miner's
+// residual scale rather than the [0,1]-normalized B_T. The Detector
+// choice is ignored: the online variant always maintains intervals
+// incrementally over residual weights (see CombinatorialMiner).
+func NewCombinatorialMiner(n int, opts *CombinatorialOptions) *CombinatorialMiner {
+	var oo core.OnlineSTCombOptions
+	if opts != nil {
+		oo.MinIntervalScore = opts.MinIntervalScore
+		oo.MinIntervalMass = opts.MinIntervalMass
+		oo.MaxPatterns = opts.MaxPatterns
+	}
+	return &CombinatorialMiner{m: core.NewOnlineSTCombOpts(n, oo)}
 }
 
 // Push processes the next snapshot of per-stream frequencies.

@@ -166,7 +166,7 @@ func TestRegionalMinerStreaming(t *testing.T) {
 }
 
 func TestCombinatorialMinerStreaming(t *testing.T) {
-	m := NewCombinatorialMiner(2)
+	m := NewCombinatorialMiner(2, nil)
 	for i := 0; i < 8; i++ {
 		obs := []float64{1, 1}
 		if i == 4 {
