@@ -1,24 +1,36 @@
 # Tier-1 verification plus the race/determinism and benchmark suites,
 # and the snapshot/serving pipeline.
 #
-#   make            # build + vet + full tests (tier-1)
-#   make test-short # seconds-fast subset (heavy corpus reproductions skipped)
-#   make race       # concurrency suite under the race detector
-#   make bench      # all benchmarks, including the MineAll speedup pair
-#   make verify     # tier-1 + race: what CI should run
-#   make snapshot   # stgen a corpus (if missing) and stmine it into $(SNAPSHOT)
-#   make serve      # stserve the snapshot on $(ADDR)
+#   make             # build + vet + full tests (tier-1)
+#   make test-short  # seconds-fast subset (heavy corpus reproductions skipped)
+#   make race        # concurrency suite under the race detector
+#   make bench       # all benchmarks, including the MineAll speedup pair
+#   make bench-json  # query + mine benchmarks as JSON into $(BENCH_JSON)
+#   make bench-smoke # one-iteration benchmark pass (CI: does the harness run?)
+#   make verify      # tier-1 + race: what CI should run
+#   make snapshot    # stgen a corpus (if missing) and stmine it into $(SNAPSHOT)
+#   make bundle      # stmine all three kinds into $(BUNDLE)
+#   make serve       # stserve the bundle on $(ADDR)
 
 GO ?= go
 CORPUS ?= corpus.jsonl
 SNAPSHOT ?= snapshot.stb
+BUNDLE ?= corpus.bundle
 ADDR ?= :8080
+BENCH_JSON ?= BENCH_PR4.json
+BENCH_TIME ?= 1s
+# The serving-path benchmarks: retrieval (plain, filtered, store-routed,
+# KindAny fan-out) and mining (per-kind batch, one-pass MineStore).
+BENCH_PATTERN ?= BenchmarkQuery|BenchmarkStoreQuery|BenchmarkMineAll|BenchmarkMineStore
+# The smoke subset skips the mining benchmarks (tens of seconds per
+# iteration); corpus setup still exercises the miners once.
+BENCH_SMOKE_PATTERN ?= BenchmarkQuery|BenchmarkStoreQuery
 
 # A failed stgen/stmine must not leave a truncated artifact that later
 # runs treat as up to date.
 .DELETE_ON_ERROR:
 
-.PHONY: all build vet test test-short race bench verify snapshot serve
+.PHONY: all build vet test test-short race bench bench-json bench-smoke verify snapshot bundle serve
 
 all: build test
 
@@ -42,6 +54,17 @@ race: build
 bench: build
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
+# Machine-readable perf trajectory: the query and mine benchmarks as
+# go-test JSON events, one artifact per PR for release-over-release
+# comparison.
+bench-json: build
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem -run '^$$' -json . > $(BENCH_JSON)
+
+# One iteration of the query-side benchmarks: cheap enough for CI, and
+# fails the build if the benchmark harness can no longer run at all.
+bench-smoke: build
+	$(GO) test -bench '$(BENCH_SMOKE_PATTERN)' -benchtime 1x -run '^$$' .
+
 verify: test race
 
 $(CORPUS):
@@ -52,5 +75,10 @@ $(SNAPSHOT): $(CORPUS)
 
 snapshot: $(SNAPSHOT)
 
-serve: $(SNAPSHOT)
-	$(GO) run ./cmd/stserve -corpus $(CORPUS) -snapshot $(SNAPSHOT) -addr $(ADDR)
+$(BUNDLE): $(CORPUS)
+	$(GO) run ./cmd/stmine -all -method all -corpus $(CORPUS) -o $@ > /dev/null
+
+bundle: $(BUNDLE)
+
+serve: $(BUNDLE)
+	$(GO) run ./cmd/stserve -corpus $(CORPUS) -snapshot $(BUNDLE) -addr $(ADDR)

@@ -22,6 +22,7 @@ import (
 	"stburst/internal/gen"
 	"stburst/internal/index"
 	"stburst/internal/search"
+	"stburst/internal/textproc"
 )
 
 var (
@@ -156,6 +157,96 @@ func BenchmarkQueryFiltered(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// storeBenchSetup wraps the shared lab's three mined pattern maps into a
+// public multi-kind store with warmed engines, plus a reference query
+// term (the lowest interned bursty term, as in queryBenchSetup).
+func storeBenchSetup(b *testing.B) (*Store, string) {
+	b.Helper()
+	lab := sharedLab(b)
+	c := &Collection{col: lab.Col(), tok: textproc.NewTokenizer()}
+	store := NewStore(c)
+	if err := store.Replace(
+		&PatternIndex{c: c, set: index.NewWindowSet(lab.Windows)},
+		&PatternIndex{c: c, set: index.NewCombSet(lab.Combs)},
+		&PatternIndex{c: c, set: index.NewTemporalSet(lab.Temporal)},
+	); err != nil {
+		b.Fatal(err)
+	}
+	terms := make([]int, 0, len(lab.Windows))
+	for t := range lab.Windows {
+		terms = append(terms, t)
+	}
+	if len(terms) == 0 {
+		b.Fatal("no bursty terms in the benchmark corpus")
+	}
+	sort.Ints(terms)
+	for _, k := range Kinds() {
+		store.Index(k).Engine() // build outside the timed loop
+	}
+	return store, lab.Col().Dict().Term(terms[0])
+}
+
+// BenchmarkStoreQuerySingleKind measures a concrete-kind query routed
+// through the store — the per-request cost of the multi-kind dispatch
+// over querying the index directly.
+func BenchmarkStoreQuerySingleKind(b *testing.B) {
+	store, term := storeBenchSetup(b)
+	q := Query{Text: term, Kind: KindRegional, K: 10}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Query(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreQueryAny measures the KindAny fan-out: three per-kind
+// retrievals plus the merge, the price of comparing all burstiness
+// models in one request.
+func BenchmarkStoreQueryAny(b *testing.B) {
+	store, term := storeBenchSetup(b)
+	q := Query{Text: term, K: 10}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Query(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMineStore compares the one-pass three-kind miner against the
+// three single-kind passes it replaces, on the shared corpus. The
+// one-pass variant drains a single (term, kind) work list, so its
+// wall-clock should approach the sum of the per-kind costs divided by
+// the worker count, without three separate pool ramp-downs.
+func BenchmarkMineStore(b *testing.B) {
+	lab := sharedLab(b)
+	c := &Collection{col: lab.Col(), tok: textproc.NewTokenizer()}
+	ctx := context.Background()
+	b.Run("onepass", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.MineStore(ctx, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("threepasses", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, kind := range Kinds() {
+				if _, err := c.Mine(ctx, kind, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 func BenchmarkTable1TopPatterns(b *testing.B) {

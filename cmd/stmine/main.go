@@ -8,6 +8,7 @@
 //	stmine -term fujimori   -method stcomb  -k 5 < corpus.jsonl
 //	stmine -all -method stlocal -parallel 8 -corpus corpus.jsonl
 //	stmine -all -corpus corpus.jsonl -o snapshot.stb
+//	stmine -all -method all -corpus corpus.jsonl -o corpus.bundle
 //
 // With -all, the entire corpus vocabulary is mined concurrently across a
 // bounded worker pool (-parallel workers, default one per CPU) and the
@@ -16,11 +17,17 @@
 // mined index as a binary snapshot, the artifact cmd/stserve loads at
 // boot — mine once, serve many.
 //
+// -method all mines all three pattern kinds (regional, combinatorial,
+// temporal) in a single pass over one shared worker pool and writes the
+// three indexes as one bundle, the artifact a multi-kind stserve boots
+// from; the top-k listing then tags each pattern with its kind.
+//
 // Streams are projected onto the 2-D plane with multidimensional scaling
 // over their pairwise geographic distances, as in §6.1 of the paper.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -39,11 +46,11 @@ func main() {
 	var (
 		term     = flag.String("term", "", "term to mine (required unless -all)")
 		all      = flag.Bool("all", false, "mine every term of the corpus")
-		method   = flag.String("method", "stlocal", "miner: stlocal, stcomb or temporal (temporal requires -all)")
+		method   = flag.String("method", "stlocal", "miner: stlocal, stcomb, temporal or all (temporal and all require -all)")
 		k        = flag.Int("k", 5, "number of patterns to print")
 		parallel = flag.Int("parallel", 0, "mining workers for -all (<1 = one per CPU)")
 		corpus   = flag.String("corpus", "", "JSONL corpus path (default: read stdin)")
-		out      = flag.String("o", "", "write the mined index as a snapshot to this path (requires -all)")
+		out      = flag.String("o", "", "write the mined index as a snapshot (-method all: a bundle) to this path (requires -all)")
 	)
 	flag.Parse()
 	if *term == "" && !*all {
@@ -75,7 +82,16 @@ func main() {
 		os.Exit(1)
 	}
 	if *all {
-		mineAll(col, *method, *k, *parallel, *out)
+		var mineErr error
+		if *method == "all" {
+			mineErr = mineAllKinds(os.Stdout, os.Stderr, col, *k, *parallel, *out)
+		} else {
+			mineErr = mineAll(os.Stdout, os.Stderr, col, *method, *k, *parallel, *out)
+		}
+		if mineErr != nil {
+			fmt.Fprintln(os.Stderr, "stmine:", mineErr)
+			os.Exit(exitCode(mineErr))
+		}
 		return
 	}
 	id, ok := col.Dict().Lookup(*term)
@@ -107,23 +123,61 @@ func main() {
 	case "temporal", "tb":
 		fmt.Fprintln(os.Stderr, "stmine: -method temporal requires -all (it mines the merged stream corpus-wide)")
 		os.Exit(2)
+	case "all":
+		fmt.Fprintln(os.Stderr, "stmine: -method all requires -all (it mines every kind corpus-wide)")
+		os.Exit(2)
 	default:
 		fmt.Fprintf(os.Stderr, "stmine: unknown method %q\n", *method)
 		os.Exit(2)
 	}
 }
 
-// mineAll runs the corpus-wide batch miner, prints the top-k patterns
-// across all terms (by descending score with deterministic tie-breaks)
-// and, when snapshotPath is set, writes the mined index as a snapshot.
-// Only the k survivors are formatted: per-term pattern slices are already
-// deterministically ordered, so (score, term, position) is a total order.
-func mineAll(col *stream.Collection, method string, k, parallel int, snapshotPath string) {
-	type scored struct {
-		term  int
-		idx   int // position within the term's pattern slice
-		score float64
+// usageError marks a bad flag combination (exit 2, not 1).
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
+func exitCode(err error) int {
+	if _, ok := err.(usageError); ok {
+		return 2
 	}
+	return 1
+}
+
+// scored locates one pattern for the cross-term top-k listing.
+type scored struct {
+	term  int
+	idx   int // position within the term's pattern slice
+	score float64
+}
+
+// printTop sorts the scored patterns by descending score with
+// deterministic tie-breaks and prints the k best through format.
+func printTop(w io.Writer, col *stream.Collection, top []scored, k int, format func(s scored) string) {
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].score != top[j].score {
+			return top[i].score > top[j].score
+		}
+		if top[i].term != top[j].term {
+			return top[i].term < top[j].term
+		}
+		return top[i].idx < top[j].idx
+	})
+	if len(top) > k {
+		top = top[:k]
+	}
+	for i, s := range top {
+		fmt.Fprintf(w, "#%d  %-18s %s\n", i+1, col.Dict().Term(s.term), format(s))
+	}
+}
+
+// mineAll runs the corpus-wide batch miner for one pattern kind, prints
+// the top-k patterns across all terms (by descending score with
+// deterministic tie-breaks) to out and, when snapshotPath is set, writes
+// the mined index as a snapshot. Only the k survivors are formatted:
+// per-term pattern slices are already deterministically ordered, so
+// (score, term, position) is a total order.
+func mineAll(out, diag io.Writer, col *stream.Collection, method string, k, parallel int, snapshotPath string) error {
 	var format func(s scored) string
 	start := time.Now()
 	var top []scored
@@ -168,35 +222,115 @@ func mineAll(col *stream.Collection, method string, k, parallel int, snapshotPat
 			return fmt.Sprintf("score %.3f  weeks [%d,%d]  merged stream", iv.Score, iv.Start, iv.End)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "stmine: unknown method %q\n", method)
-		os.Exit(2)
+		return usageError(fmt.Sprintf("unknown method %q", method))
 	}
 	elapsed := time.Since(start)
-	sort.Slice(top, func(i, j int) bool {
-		if top[i].score != top[j].score {
-			return top[i].score > top[j].score
-		}
-		if top[i].term != top[j].term {
-			return top[i].term < top[j].term
-		}
-		return top[i].idx < top[j].idx
-	})
-	fmt.Fprintf(os.Stderr, "stmine: mined %d terms, %d patterns in %v\n",
+	fmt.Fprintf(diag, "stmine: mined %d terms, %d patterns in %v\n",
 		col.Dict().Len(), set.NumPatterns(), elapsed.Round(time.Millisecond))
 	if snapshotPath != "" {
 		if err := index.WriteSnapshotFile(snapshotPath, set, col.Dict().Term); err != nil {
-			fmt.Fprintln(os.Stderr, "stmine:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "stmine: snapshot written to %s (fingerprint %.12s...)\n",
+		fmt.Fprintf(diag, "stmine: snapshot written to %s (fingerprint %.12s...)\n",
 			snapshotPath, set.Fingerprint())
 	}
+	printTop(out, col, top, k, format)
+	return nil
+}
+
+// mineAllKinds mines all three pattern kinds in a single pass over one
+// shared worker pool, prints the top-k patterns across every term AND
+// kind (each line tagged with its kind) to out and, when bundlePath is
+// set, writes the three indexes as one bundle — the artifact a
+// multi-kind stserve boots from.
+func mineAllKinds(out, diag io.Writer, col *stream.Collection, k, parallel int, bundlePath string) error {
+	start := time.Now()
+	windows, combs, temporal, err := search.MineAllKindsParCtx(context.Background(), col,
+		core.STLocalOptions{}, core.STCombOptions{}, nil, parallel)
+	if err != nil {
+		return err
+	}
+	sets := []*index.PatternSet{
+		index.NewWindowSet(windows),
+		index.NewCombSet(combs),
+		index.NewTemporalSet(temporal),
+	}
+	elapsed := time.Since(start)
+	total := 0
+	for _, set := range sets {
+		total += set.NumPatterns()
+	}
+	fmt.Fprintf(diag, "stmine: mined %d terms x 3 kinds, %d patterns in %v\n",
+		col.Dict().Len(), total, elapsed.Round(time.Millisecond))
+	for _, set := range sets {
+		fmt.Fprintf(diag, "stmine: %-13s %d terms, %d patterns, fingerprint %.12s...\n",
+			set.Kind(), set.NumTerms(), set.NumPatterns(), set.Fingerprint())
+	}
+	if bundlePath != "" {
+		if err := index.WriteBundleFile(bundlePath, sets, col.Dict().Term); err != nil {
+			return err
+		}
+		fmt.Fprintf(diag, "stmine: bundle written to %s (3 members)\n", bundlePath)
+	}
+
+	// One merged top-k across kinds: kindScored extends the (score, term,
+	// position) total order with the kind as the outer tie-break. Only
+	// the k survivors are formatted, as in mineAll.
+	type kindScored struct {
+		kind string
+		s    scored
+	}
+	format := map[string]func(s scored) string{
+		"regional": func(s scored) string {
+			w := windows[s.term][s.idx]
+			return fmt.Sprintf("w-score %.3f  weeks [%d,%d]  region %v  %d streams: %s",
+				w.Score, w.Start, w.End, w.Rect, len(w.Streams), names(col, w.Streams, 6))
+		},
+		"combinatorial": func(s scored) string {
+			p := combs[s.term][s.idx]
+			return fmt.Sprintf("score %.3f  weeks [%d,%d]  %d streams: %s",
+				p.Score, p.Start, p.End, len(p.Streams), names(col, p.Streams, 6))
+		},
+		"temporal": func(s scored) string {
+			iv := temporal[s.term][s.idx]
+			return fmt.Sprintf("score %.3f  weeks [%d,%d]  merged stream", iv.Score, iv.Start, iv.End)
+		},
+	}
+	var top []kindScored
+	for term, ws := range windows {
+		for i, w := range ws {
+			top = append(top, kindScored{"regional", scored{term, i, w.Score}})
+		}
+	}
+	for term, ps := range combs {
+		for i, p := range ps {
+			top = append(top, kindScored{"combinatorial", scored{term, i, p.Score}})
+		}
+	}
+	for term, ivs := range temporal {
+		for i, iv := range ivs {
+			top = append(top, kindScored{"temporal", scored{term, i, iv.Score}})
+		}
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].s.score != top[j].s.score {
+			return top[i].s.score > top[j].s.score
+		}
+		if top[i].kind != top[j].kind {
+			return top[i].kind < top[j].kind
+		}
+		if top[i].s.term != top[j].s.term {
+			return top[i].s.term < top[j].s.term
+		}
+		return top[i].s.idx < top[j].s.idx
+	})
 	if len(top) > k {
 		top = top[:k]
 	}
-	for i, s := range top {
-		fmt.Printf("#%d  %-18s %s\n", i+1, col.Dict().Term(s.term), format(s))
+	for i, ks := range top {
+		fmt.Fprintf(out, "#%d  [%s] %-18s %s\n", i+1, ks.kind, col.Dict().Term(ks.s.term), format[ks.kind](ks.s))
 	}
+	return nil
 }
 
 func names(col *stream.Collection, streams []int, max int) string {

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stburst/internal/geo"
+	"stburst/internal/index"
+	"stburst/internal/stream"
+)
+
+// mineCollection builds a small corpus with one localized burst so every
+// miner has patterns to report.
+func mineCollection(t *testing.T) *stream.Collection {
+	t.Helper()
+	col := stream.NewCollection([]stream.Info{
+		{Name: "lima", Location: geo.Point{X: 0, Y: 0}},
+		{Name: "quito", Location: geo.Point{X: 2, Y: 1}},
+		{Name: "tokyo", Location: geo.Point{X: 90, Y: 80}},
+	}, 10)
+	add := func(s, w int, text string) {
+		t.Helper()
+		if _, err := col.AddTokens(s, w, strings.Fields(text)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for w := 0; w < 10; w++ {
+		add(0, w, "markets calm trading")
+		add(1, w, "football weather outlook")
+		add(2, w, "exports quarterly report")
+	}
+	for w := 4; w <= 6; w++ {
+		for i := 0; i < 3; i++ {
+			add(0, w, "earthquake rescue earthquake")
+			add(1, w, "earthquake tremors")
+		}
+	}
+	return col
+}
+
+// TestMineAllSingleKindSnapshot: the single-kind batch path still writes
+// a loadable .stb snapshot whose fingerprint matches the mined set, and
+// prints a ranked pattern listing.
+func TestMineAllSingleKindSnapshot(t *testing.T) {
+	col := mineCollection(t)
+	for _, method := range []string{"stlocal", "stcomb", "temporal"} {
+		t.Run(method, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "snapshot.stb")
+			var out bytes.Buffer
+			if err := mineAll(&out, io.Discard, col, method, 5, 1, path); err != nil {
+				t.Fatalf("mineAll(%s) = %v", method, err)
+			}
+			if !strings.Contains(out.String(), "#1") {
+				t.Errorf("mineAll(%s) printed no ranked patterns:\n%s", method, out.String())
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatalf("snapshot not written: %v", err)
+			}
+			defer f.Close()
+			snap, err := index.ReadSnapshot(f)
+			if err != nil {
+				t.Fatalf("written snapshot does not load: %v", err)
+			}
+			if snap.Set.NumPatterns() == 0 {
+				t.Errorf("snapshot holds no patterns")
+			}
+		})
+	}
+}
+
+// TestMineAllUnknownMethod: a bad method is a usage error (exit 2), not
+// a mining failure.
+func TestMineAllUnknownMethod(t *testing.T) {
+	err := mineAll(io.Discard, io.Discard, mineCollection(t), "nope", 5, 1, "")
+	if err == nil {
+		t.Fatal("mineAll accepted an unknown method")
+	}
+	if exitCode(err) != 2 {
+		t.Errorf("exitCode = %d, want 2 for a usage error", exitCode(err))
+	}
+}
+
+// TestMineAllKindsBundle: -method all mines the three kinds in one pass
+// and writes a bundle whose members match the single-kind miners bit for
+// bit.
+func TestMineAllKindsBundle(t *testing.T) {
+	col := mineCollection(t)
+	path := filepath.Join(t.TempDir(), "corpus.bundle")
+	var out, diag bytes.Buffer
+	if err := mineAllKinds(&out, &diag, col, 5, 2, path); err != nil {
+		t.Fatalf("mineAllKinds = %v", err)
+	}
+	if !strings.Contains(out.String(), "[regional]") &&
+		!strings.Contains(out.String(), "[combinatorial]") &&
+		!strings.Contains(out.String(), "[temporal]") {
+		t.Errorf("merged listing lacks kind tags:\n%s", out.String())
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("bundle not written: %v", err)
+	}
+	defer f.Close()
+	snaps, err := index.ReadBundle(f)
+	if err != nil {
+		t.Fatalf("written bundle does not load: %v", err)
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("bundle has %d members, want 3", len(snaps))
+	}
+	// Each member must be bit-identical to its single-kind miner output.
+	singles := map[index.PatternKind]*index.PatternSet{}
+	tmp := t.TempDir()
+	for _, method := range []string{"stlocal", "stcomb", "temporal"} {
+		p := filepath.Join(tmp, method+".stb")
+		if err := mineAll(io.Discard, io.Discard, col, method, 1, 1, p); err != nil {
+			t.Fatal(err)
+		}
+		sf, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := index.ReadSnapshot(sf)
+		sf.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		singles[snap.Set.Kind()] = snap.Set
+	}
+	for _, snap := range snaps {
+		want := singles[snap.Set.Kind()]
+		if want == nil {
+			t.Fatalf("bundle member kind %v has no single-kind counterpart", snap.Set.Kind())
+		}
+		if snap.Set.Fingerprint() != want.Fingerprint() {
+			t.Errorf("bundle %v member fingerprint differs from the single-kind miner", snap.Set.Kind())
+		}
+	}
+}

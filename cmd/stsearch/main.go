@@ -1,15 +1,22 @@
 // Command stsearch answers bursty-document queries over a JSONL corpus
-// produced by stgen: it builds one of the three search engines of the
-// paper (§5–6.3) and prints the top-k documents for the query, optionally
-// restricted to a spatial region and/or timeframe (hits must have a
-// contributing pattern intersecting the filter).
+// produced by stgen: it mines one (or, with -kind any, all) of the three
+// burstiness models of the paper (§5–6.3) into a pattern store and
+// prints the top-k documents for the query, optionally restricted to a
+// spatial region and/or timeframe (hits must have a contributing pattern
+// intersecting the filter).
+//
+// -kind selects the burstiness model: regional (stlocal), combinatorial
+// (stcomb), temporal (tb), or "any" — which mines all three kinds in one
+// pass, fans the query out to each, and merges the rankings, tagging
+// every hit with the kind that scored it. The older -engine flag remains
+// as a deprecated alias.
 //
 // Usage:
 //
 //	stgen -kind topix > corpus.jsonl
-//	stsearch -engine stlocal -q earthquake -k 10 < corpus.jsonl
-//	stsearch -engine stcomb  -q "air france" < corpus.jsonl
-//	stsearch -engine tb      -q fujimori < corpus.jsonl
+//	stsearch -kind regional -q earthquake -k 10 < corpus.jsonl
+//	stsearch -kind stcomb   -q "air france" < corpus.jsonl
+//	stsearch -kind any      -q fujimori < corpus.jsonl
 //	stsearch -q earthquake -region -10,-10,10,10 -from 4 -to 9 < corpus.jsonl
 //	stsearch -q earthquake -k 5 -offset 5 -min-score 1.5 < corpus.jsonl
 package main
@@ -21,16 +28,14 @@ import (
 	"os"
 	"time"
 
-	"stburst/internal/core"
-	"stburst/internal/corpusio"
+	"stburst"
 	"stburst/internal/geo"
-	"stburst/internal/index"
-	"stburst/internal/search"
 )
 
 func main() {
 	var (
-		engineKind = flag.String("engine", "stlocal", "engine: stlocal, stcomb or tb")
+		kindName   = flag.String("kind", "", "pattern kind: regional/stlocal, combinatorial/stcomb, temporal/tb, or any (default regional)")
+		engineKind = flag.String("engine", "", "deprecated alias for -kind")
 		query      = flag.String("q", "", "query terms (required)")
 		k          = flag.Int("k", 10, "number of documents to retrieve")
 		offset     = flag.Int("offset", 0, "number of ranked documents to skip (pagination)")
@@ -44,32 +49,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stsearch: -q is required")
 		os.Exit(2)
 	}
+	name := *kindName
+	if name == "" {
+		name = *engineKind
+	}
+	if name == "" {
+		name = "regional"
+	}
+	kind, err := stburst.ParseKind(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stsearch: -kind:", err)
+		os.Exit(2)
+	}
 
-	col, labels, err := corpusio.Load(os.Stdin)
+	c, labels, err := stburst.LoadCorpusLabeled(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stsearch:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "corpus: %d documents, %d streams, %d weeks\n",
-		col.NumDocs(), col.NumStreams(), col.Length())
+		c.NumDocs(), c.NumStreams(), c.Timeline())
 
 	start := time.Now()
-	var ps *index.PatternSet
-	switch *engineKind {
-	case "stlocal", "regional":
-		ps = index.NewWindowSet(search.MineWindows(col, core.STLocalOptions{}))
-	case "stcomb", "combinatorial":
-		ps = index.NewCombSet(search.MineCombPatterns(col, core.STCombOptions{}))
-	case "tb", "temporal":
-		ps = index.NewTemporalSet(search.MineTemporal(col, nil))
-	default:
-		fmt.Fprintf(os.Stderr, "stsearch: unknown engine %q\n", *engineKind)
-		os.Exit(2)
+	var store *stburst.Store
+	if kind == stburst.KindAny {
+		if store, err = c.MineStore(context.Background(), nil); err != nil {
+			fmt.Fprintln(os.Stderr, "stsearch:", err)
+			os.Exit(1)
+		}
+	} else {
+		ix, err := c.Mine(context.Background(), kind, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stsearch:", err)
+			os.Exit(1)
+		}
+		store = stburst.NewStore(c)
+		if _, err := store.Swap(kind, ix); err != nil {
+			fmt.Fprintln(os.Stderr, "stsearch:", err)
+			os.Exit(1)
+		}
 	}
-	eng := search.BuildFromPatterns(col, ps)
-	fmt.Fprintf(os.Stderr, "%s engine built in %v\n", *engineKind, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "%s engine built in %v\n", kind, time.Since(start).Round(time.Millisecond))
 
-	q := search.Query{Text: *query, K: *k, Offset: *offset, MinScore: *minScore}
+	q := stburst.Query{Text: *query, Kind: kind, K: *k, Offset: *offset, MinScore: *minScore}
 	if *region != "" {
 		r, err := geo.ParseRect(*region)
 		if err != nil {
@@ -79,7 +101,7 @@ func main() {
 		q.Region = &r
 	}
 	if *from >= 0 || *to >= 0 {
-		span := search.Timespan{Start: 0, End: col.Length() - 1}
+		span := stburst.Timespan{Start: 0, End: c.Timeline() - 1}
 		if *from >= 0 {
 			span.Start = *from
 		}
@@ -99,28 +121,31 @@ func main() {
 			// a lone -to can never undercut the default start of 0).
 			span.End = span.Start
 		}
-		q.Span = &span
+		q.Time = &span
 	}
 
-	page, err := eng.Run(context.Background(), q)
+	page, err := store.Query(context.Background(), q)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stsearch:", err)
 		os.Exit(1)
 	}
-	if len(page.Results) == 0 {
+	if len(page.Hits) == 0 {
 		fmt.Println("no bursty documents found for the query")
 		return
 	}
-	for i, r := range page.Results {
-		d := col.Doc(r.Doc)
+	for i, h := range page.Hits {
 		label := ""
-		if labels != nil && labels[r.Doc] != 0 {
-			label = fmt.Sprintf("  [event %d]", labels[r.Doc])
+		if labels != nil && labels[h.Doc.ID] != 0 {
+			label = fmt.Sprintf("  [event %d]", labels[h.Doc.ID])
 		}
-		fmt.Printf("%2d. doc %-7d %-22s week %-3d score %.3f%s\n",
-			*offset+i+1, r.Doc, col.Stream(d.Stream).Name, d.Time, r.Score, label)
+		tag := ""
+		if kind == stburst.KindAny {
+			tag = fmt.Sprintf("  [%s]", h.Kind)
+		}
+		fmt.Printf("%2d. doc %-7d %-22s week %-3d score %.3f%s%s\n",
+			*offset+i+1, h.Doc.ID, h.Stream, h.Doc.Time, h.Score, tag, label)
 	}
 	if page.More {
-		fmt.Printf("(more hits beyond this page: re-run with -offset %d)\n", *offset+len(page.Results))
+		fmt.Printf("(more hits beyond this page: re-run with -offset %d)\n", *offset+len(page.Hits))
 	}
 }

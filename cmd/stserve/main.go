@@ -1,34 +1,49 @@
 // Command stserve is the long-running query service of the
-// mine-once/serve-many pipeline: it loads a corpus plus a pattern-index
-// snapshot (mining the corpus itself only when no snapshot exists) and
-// answers concurrent HTTP queries off the immutable in-memory index.
+// mine-once/serve-many pipeline: it loads a corpus plus a pattern store
+// (mining the corpus itself only when no snapshot exists) and answers
+// concurrent HTTP queries off immutable in-memory indexes — up to one
+// per pattern kind, served side by side from the same process.
 //
 // Usage:
 //
 //	stgen -kind topix > corpus.jsonl
-//	stmine -all -corpus corpus.jsonl -o snapshot.stb
-//	stserve -corpus corpus.jsonl -snapshot snapshot.stb -addr :8080
+//	stmine -all -method all -corpus corpus.jsonl -o corpus.bundle
+//	stserve -corpus corpus.jsonl -snapshot corpus.bundle -addr :8080
 //
-// The stable contract is the versioned /v1/ JSON API:
+// -snapshot accepts both artifacts the miner produces: a multi-kind
+// bundle (stmine -method all) and a single-kind .stb snapshot. The
+// stable contract is the versioned /v1/ JSON API:
 //
 //	POST /v1/search          structured spatiotemporal query: the body is
 //	                         the stburst.Query JSON shape ({"text": ...,
-//	                         "region": {"min_x": ...}, "time": {"start":
-//	                         ..., "end": ...}, "k": ..., "offset": ...,
-//	                         "min_score": ...})
+//	                         "kind": "regional"|"combinatorial"|
+//	                         "temporal"|"any", "region": {"min_x": ...},
+//	                         "time": {"start": ..., "end": ...}, "k": ...,
+//	                         "offset": ..., "min_score": ...}); "any" (or
+//	                         an absent kind) fans out to every resident
+//	                         index and merges the hits, each tagged with
+//	                         the kind that scored it
 //	GET  /v1/patterns/{term} the stored patterns of a term (404 when
-//	                         none), filterable by ?region=minX,minY,maxX,maxY
-//	                         and ?from=&to= timestamps
+//	                         none), filterable by ?kind= and
+//	                         ?region=minX,minY,maxX,maxY and ?from=&to=
+//	GET  /v1/indexes         the resident kinds with sizes and fingerprints
+//	POST /v1/reload          atomically swap in freshly mined indexes from
+//	                         the -snapshot file, without pausing traffic
 //	GET  /v1/stats           index size, fingerprint, uptime, traffic counters
 //	GET  /v1/healthz         liveness probe
 //
 // The pre-/v1 routes (GET /healthz, /stats, /patterns/{term},
-// /search?q=&k=) remain as aliases with their original response shapes.
+// /search?q=&k=) remain as aliases: /search keeps its exact original
+// hit shape, the others their original fields plus additive ones.
 //
 // When -snapshot names a file that does not exist, stserve mines the
-// corpus with the batch miners (-method selects the pattern kind,
-// -parallel the worker count) and writes the snapshot there, so the next
-// boot skips mining entirely.
+// corpus (-method selects the pattern kind, "all" mines all three in one
+// pass; -parallel the worker count) and writes the artifact there — a
+// bundle for "all", a snapshot otherwise — so the next boot skips mining
+// entirely.
+//
+// stserve shuts down gracefully: SIGINT or SIGTERM stops accepting new
+// connections and drains in-flight requests before exiting.
 package main
 
 import (
@@ -38,6 +53,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"stburst"
@@ -47,8 +64,8 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		corpus   = flag.String("corpus", "", "JSONL corpus path (required)")
-		snapshot = flag.String("snapshot", "", "pattern-index snapshot path (loaded if present, written after mining otherwise)")
-		method   = flag.String("method", "stlocal", "miner when no snapshot exists: stlocal, stcomb or tb")
+		snapshot = flag.String("snapshot", "", "pattern snapshot or bundle path (loaded if present, written after mining otherwise)")
+		method   = flag.String("method", "stlocal", "miner when no snapshot exists: stlocal, stcomb, tb or all")
 		parallel = flag.Int("parallel", 0, "mining workers (<1 = one per CPU)")
 	)
 	flag.Parse()
@@ -71,21 +88,23 @@ func main() {
 	log.Printf("corpus %s: %d docs, %d streams, %d timestamps (loaded in %v)",
 		*corpus, c.NumDocs(), c.NumStreams(), c.Timeline(), time.Since(start).Round(time.Millisecond))
 
-	ix, err := loadOrMine(c, *snapshot, *method, *parallel)
+	store, err := loadOrMine(c, *snapshot, *method, *parallel)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("index: kind %s, %d terms, %d patterns, fingerprint %.12s...",
-		ix.Kind(), ix.NumTerms(), ix.NumPatterns(), ix.Fingerprint())
-
 	start = time.Now()
-	ix.Engine() // warm the cached search engine before accepting traffic
-	log.Printf("search engine built in %v", time.Since(start).Round(time.Millisecond))
+	for _, kind := range store.Kinds() {
+		ix := store.Index(kind)
+		ix.Engine() // warm the cached search engines before accepting traffic
+		log.Printf("index %s: %d terms, %d patterns, fingerprint %.12s...",
+			kind, ix.NumTerms(), ix.NumPatterns(), ix.Fingerprint())
+	}
+	log.Printf("search engines built in %v", time.Since(start).Round(time.Millisecond))
 
 	log.Printf("listening on %s", *addr)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newServer(c, ix),
+		Handler: newServer(c, store, *snapshot),
 		// Queries answer in microseconds; anything holding a connection
 		// for seconds is a stalled or malicious client, and a
 		// long-running service must not pin goroutines on them.
@@ -94,41 +113,88 @@ func main() {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+	if err := serve(srv); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// loadOrMine restores the pattern index from the snapshot when one
-// exists, and otherwise mines the corpus — writing the freshly mined
-// index back to the snapshot path (when given) so subsequent boots load
-// instead of mining.
-func loadOrMine(c *stburst.Collection, path, method string, parallel int) (*stburst.PatternIndex, error) {
+// serve runs the HTTP server until it fails or the process receives
+// SIGINT/SIGTERM, in which case the listener closes immediately and
+// in-flight requests are drained (bounded by a timeout) before exiting —
+// a rolling restart never kills a query mid-response.
+func serve(srv *http.Server) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+		close(errc)
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop() // a second signal kills immediately instead of draining
+		log.Printf("shutting down: draining in-flight requests")
+		drain, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(drain); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		log.Printf("drained; bye")
+		return <-errc
+	}
+}
+
+// loadOrMine restores the pattern store from the snapshot/bundle when
+// one exists, and otherwise mines the corpus — all three kinds in one
+// pass for -method all — writing the freshly mined artifact back to the
+// snapshot path (when given) so subsequent boots load instead of mining.
+func loadOrMine(c *stburst.Collection, path, method string, parallel int) (*stburst.Store, error) {
 	if path != "" {
 		f, err := os.Open(path)
 		switch {
 		case err == nil:
 			defer f.Close()
 			start := time.Now()
-			ix, err := stburst.LoadPatternIndex(f, c)
+			store, err := stburst.LoadStore(f, c)
 			if err != nil {
 				return nil, fmt.Errorf("snapshot %s: %w", path, err)
 			}
 			log.Printf("snapshot %s loaded in %v", path, time.Since(start).Round(time.Millisecond))
-			return ix, nil
+			return store, nil
 		case !os.IsNotExist(err):
 			return nil, err
 		}
 		log.Printf("snapshot %s does not exist; mining corpus", path)
 	}
 
-	kind, err := stburst.ParseKind(method)
-	if err != nil {
-		return nil, fmt.Errorf("-method: %w", err)
-	}
 	start := time.Now()
-	ix, err := c.Mine(context.Background(), kind,
-		stburst.NewMineOptions(stburst.WithParallelism(parallel)))
+	opts := stburst.NewMineOptions(stburst.WithParallelism(parallel))
+	if method == "all" {
+		store, err := c.MineStore(context.Background(), opts)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("mined all kinds in %v", time.Since(start).Round(time.Millisecond))
+		if path != "" {
+			if err := store.SaveFile(path); err != nil {
+				return nil, err
+			}
+			log.Printf("bundle written to %s", path)
+		}
+		return store, nil
+	}
+
+	kind, err := stburst.ParseKind(method)
+	if err != nil || kind == stburst.KindAny {
+		return nil, fmt.Errorf("-method must name a concrete kind or \"all\", got %q", method)
+	}
+	ix, err := c.Mine(context.Background(), kind, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -140,5 +206,9 @@ func loadOrMine(c *stburst.Collection, path, method string, parallel int) (*stbu
 		}
 		log.Printf("snapshot written to %s", path)
 	}
-	return ix, nil
+	store := stburst.NewStore(c)
+	if _, err := store.Swap(kind, ix); err != nil {
+		return nil, err
+	}
+	return store, nil
 }

@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -17,39 +19,51 @@ import (
 	"stburst/internal/search"
 )
 
-// server is the HTTP query layer over one collection and one immutable
-// pattern index. All state reachable from request handlers is read-only
-// after construction (the index is immutable, the cached engine is built
-// behind a sync.Once), so any number of requests may run concurrently.
+// server is the HTTP query layer over one collection and one multi-kind
+// pattern store. The store holds up to one immutable index per pattern
+// kind behind an atomic pointer, so any number of requests may run
+// concurrently and POST /v1/reload can swap in freshly mined indexes
+// without pausing traffic: a request observes either the old resident
+// set or the new one, never a torn mix.
 //
 // The stable contract is the versioned /v1/ JSON API:
 //
-//	POST /v1/search          structured spatiotemporal query (stburst.Query JSON)
-//	GET  /v1/patterns/{term} stored patterns, filterable by ?region=&from=&to=
+//	POST /v1/search          structured spatiotemporal query (stburst.Query
+//	                         JSON, including "kind": regional |
+//	                         combinatorial | temporal | any)
+//	GET  /v1/patterns/{term} stored patterns, filterable by ?kind=&region=&from=&to=
+//	GET  /v1/indexes         the resident kinds with their sizes and fingerprints
+//	POST /v1/reload          atomically reload the snapshot/bundle from disk
 //	GET  /v1/stats           index and traffic statistics
 //	GET  /v1/healthz         liveness probe
 //
 // The pre-/v1 routes (/healthz, /stats, /patterns/{term}, /search?q=&k=)
-// remain as aliases for existing clients.
+// remain as aliases for existing clients; on a single-kind store they
+// behave exactly as before the store existed.
 type server struct {
-	c  *stburst.Collection
-	ix *stburst.PatternIndex
-	// fingerprint is computed once at construction: the index is
-	// immutable and hashing it is O(total patterns), far too much per
-	// /stats poll.
-	fingerprint string
+	c     *stburst.Collection
+	store *stburst.Store
+	// snapshotPath is the file POST /v1/reload re-reads; empty disables
+	// the route (the server was started without -snapshot).
+	snapshotPath string
+	// reloadMu serializes reloads: the swap itself is atomic, but two
+	// interleaved file reads racing to Replace would make "which file
+	// won" arbitrary.
+	reloadMu sync.Mutex
 	// points caches the stream locations for the combinatorial
 	// pattern-vs-region intersection checks.
 	points   []stburst.Point
 	started  time.Time
 	requests atomic.Int64
 	searches atomic.Int64
+	reloads  atomic.Int64
 	mux      *http.ServeMux
 }
 
-// newServer wires the endpoint handlers.
-func newServer(c *stburst.Collection, ix *stburst.PatternIndex) *server {
-	s := &server{c: c, ix: ix, fingerprint: ix.Fingerprint(), started: time.Now(), mux: http.NewServeMux()}
+// newServer wires the endpoint handlers. snapshotPath may be empty, in
+// which case POST /v1/reload is rejected.
+func newServer(c *stburst.Collection, store *stburst.Store, snapshotPath string) *server {
+	s := &server{c: c, store: store, snapshotPath: snapshotPath, started: time.Now(), mux: http.NewServeMux()}
 	s.points = make([]stburst.Point, c.NumStreams())
 	for x := range s.points {
 		s.points[x] = c.Stream(x).Location
@@ -57,6 +71,8 @@ func newServer(c *stburst.Collection, ix *stburst.PatternIndex) *server {
 	// The versioned contract.
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/indexes", s.handleIndexes)
+	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
 	s.mux.HandleFunc("GET /v1/patterns/{term}", s.handlePatterns)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearchV1)
 	// Legacy aliases, kept verbatim for pre-/v1 clients.
@@ -105,19 +121,101 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// indexJSON is one resident index in /v1/indexes and /v1/stats.
+type indexJSON struct {
+	Kind        string `json:"kind"`
+	Terms       int    `json:"terms"`
+	Patterns    int    `json:"patterns"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// indexes snapshots the resident set for a response, atomically: one
+// generation of the store, never a mix across a concurrent reload.
+func (s *server) indexes() []indexJSON {
+	var out []indexJSON
+	for _, ix := range s.store.Resident() {
+		out = append(out, indexJSON{
+			Kind:        ix.PatternKind().String(),
+			Terms:       ix.NumTerms(),
+			Patterns:    ix.NumPatterns(),
+			Fingerprint: ix.Fingerprint(),
+		})
+	}
+	return out
+}
+
+func (s *server) handleIndexes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"indexes": s.indexes()})
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"kind":           s.ix.Kind(),
-		"terms":          s.ix.NumTerms(),
-		"patterns":       s.ix.NumPatterns(),
-		"fingerprint":    s.fingerprint,
+	// One snapshot of the resident set for the whole response: a reload
+	// landing mid-handler must not leave the legacy top-level fields
+	// describing a different index generation than the indexes array.
+	ixs := s.indexes()
+	stats := map[string]any{
+		"indexes":        ixs,
 		"docs":           s.c.NumDocs(),
 		"streams":        s.c.NumStreams(),
 		"timeline":       s.c.Timeline(),
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"requests":       s.requests.Load(),
 		"searches":       s.searches.Load(),
-	})
+		"reloads":        s.reloads.Load(),
+	}
+	// Legacy top-level fields describe the first resident index, which
+	// on a pre-store single-kind deployment is exactly the old payload.
+	if len(ixs) > 0 {
+		stats["kind"] = ixs[0].Kind
+		stats["terms"] = ixs[0].Terms
+		stats["patterns"] = ixs[0].Patterns
+		stats["fingerprint"] = ixs[0].Fingerprint
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// handleReload re-reads the snapshot/bundle file and atomically replaces
+// the store's resident set with its contents. Every member is integrity-
+// checked and its search engine warmed before the swap, so a failed or
+// corrupt reload leaves the old indexes serving and a successful one
+// never exposes a cold engine to traffic.
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.snapshotPath == "" {
+		writeError(w, http.StatusConflict, "server was started without -snapshot; nothing to reload")
+		return
+	}
+	// Reloading is an admin operation that decodes a multi-gigabyte-class
+	// artifact and warms three search engines: on a large corpus it
+	// outlives the query-sized WriteTimeout, which would kill the
+	// connection before the response is written. Lift the deadline for
+	// this request only.
+	if err := http.NewResponseController(w).SetWriteDeadline(time.Time{}); err != nil {
+		log.Printf("reload: clearing write deadline: %v", err)
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	f, err := os.Open(s.snapshotPath)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reload: "+err.Error())
+		return
+	}
+	defer f.Close()
+	fresh, err := stburst.LoadStore(f, s.c)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reload: "+err.Error())
+		return
+	}
+	ixs := fresh.Resident()
+	for _, ix := range ixs {
+		ix.Engine() // warm before the swap: no query pays the build
+	}
+	if err := s.store.Replace(ixs...); err != nil {
+		writeError(w, http.StatusInternalServerError, "reload: "+err.Error())
+		return
+	}
+	s.reloads.Add(1)
+	log.Printf("reloaded %s: %d indexes", s.snapshotPath, len(ixs))
+	writeJSON(w, http.StatusOK, map[string]any{"reloaded": true, "indexes": s.indexes()})
 }
 
 // streamNames resolves stream indices to their names for human-readable
@@ -145,6 +243,7 @@ type intervalJSON struct {
 }
 
 type patternJSON struct {
+	Kind      string         `json:"kind"`
 	Start     int            `json:"start"`
 	End       int            `json:"end"`
 	Score     float64        `json:"score"`
@@ -192,36 +291,37 @@ func (s *server) parseSpan(from, to string) (*stburst.Timespan, error) {
 	return span, nil
 }
 
-// patterns assembles the JSON form of a term's stored patterns that
-// intersect the given region/timespan (nil filters match everything).
-// Intersection is decided by the same per-kind predicates the search
-// engine's post-filter uses (search.WindowIntersects etc.), so the two
-// /v1 routes can never disagree about what "intersects" means.
-func (s *server) patterns(term string, region *stburst.Rect, span *stburst.Timespan) []patternJSON {
+// patternsOf assembles the JSON form of one index's stored patterns of a
+// term that intersect the given region/timespan (nil filters match
+// everything). Intersection is decided by the same per-kind predicates
+// the search engine's post-filter uses (search.WindowIntersects etc.),
+// so the /v1 routes can never disagree about what "intersects" means.
+func (s *server) patternsOf(ix *stburst.PatternIndex, term string, region *stburst.Rect, span *stburst.Timespan) []patternJSON {
 	var sp *search.Timespan
 	if span != nil {
 		sp = &search.Timespan{Start: span.Start, End: span.End}
 	}
+	kind := ix.PatternKind()
 	var patterns []patternJSON
-	switch s.ix.Kind() {
-	case "regional":
-		for _, p := range s.ix.RegionalPatterns(term) {
+	switch kind {
+	case stburst.KindRegional:
+		for _, p := range ix.RegionalPatterns(term) {
 			if !search.WindowIntersects(p, region, sp) {
 				continue
 			}
 			patterns = append(patterns, patternJSON{
-				Start: p.Start, End: p.End, Score: p.Score,
+				Kind: kind.String(), Start: p.Start, End: p.End, Score: p.Score,
 				Rect:    &rectJSON{MinX: p.Rect.MinX, MinY: p.Rect.MinY, MaxX: p.Rect.MaxX, MaxY: p.Rect.MaxY},
 				Streams: s.streamNames(p.Streams),
 			})
 		}
-	case "combinatorial":
-		for _, p := range s.ix.CombinatorialPatterns(term) {
+	case stburst.KindCombinatorial:
+		for _, p := range ix.CombinatorialPatterns(term) {
 			if !search.CombIntersects(p, s.points, region, sp) {
 				continue
 			}
 			pj := patternJSON{
-				Start: p.Start, End: p.End, Score: p.Score,
+				Kind: kind.String(), Start: p.Start, End: p.End, Score: p.Score,
 				Streams: s.streamNames(p.Streams),
 			}
 			for _, iv := range p.Intervals {
@@ -232,22 +332,32 @@ func (s *server) patterns(term string, region *stburst.Rect, span *stburst.Times
 			}
 			patterns = append(patterns, pj)
 		}
-	case "temporal":
-		for _, p := range s.ix.TemporalBursts(term) {
+	case stburst.KindTemporal:
+		for _, p := range ix.TemporalBursts(term) {
 			if !search.TemporalIntersects(p, sp) {
 				continue
 			}
-			patterns = append(patterns, patternJSON{Start: p.Start, End: p.End, Score: p.Score})
+			patterns = append(patterns, patternJSON{Kind: kind.String(), Start: p.Start, End: p.End, Score: p.Score})
 		}
 	}
 	return patterns
 }
 
-// handlePatterns serves GET /v1/patterns/{term}?region=&from=&to= and
-// the legacy GET /patterns/{term} alias (which simply never defined the
-// filter parameters; sending them there filters identically).
+// handlePatterns serves GET /v1/patterns/{term}?kind=&region=&from=&to=
+// and the legacy GET /patterns/{term} alias. An absent kind defaults to
+// the sole resident kind when the store holds one index (the exact
+// pre-store behavior) and to "any" — every resident kind, patterns
+// concatenated in canonical kind order — otherwise.
 func (s *server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 	term := r.PathValue("term")
+	kind := stburst.KindAny
+	if raw := r.URL.Query().Get("kind"); raw != "" {
+		var err error
+		if kind, err = stburst.ParseKind(raw); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
 	var region *stburst.Rect
 	if raw := r.URL.Query().Get("region"); raw != "" {
 		rect, err := geo.ParseRect(raw)
@@ -262,36 +372,63 @@ func (s *server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	patterns := s.patterns(term, region, span)
+
+	resident := s.store.Resident() // one snapshot for the whole listing
+	if kind != stburst.KindAny {
+		match := resident[:0:0]
+		for _, ix := range resident {
+			if ix.PatternKind() == kind {
+				match = append(match, ix)
+			}
+		}
+		if len(match) == 0 {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("kind %v is not resident (have %v)", kind, s.store.Kinds()))
+			return
+		}
+		resident = match
+	}
+	effective := kind
+	if kind == stburst.KindAny && len(resident) == 1 {
+		effective = resident[0].PatternKind()
+	}
+	var patterns []patternJSON
+	for _, ix := range resident {
+		patterns = append(patterns, s.patternsOf(ix, term, region, span)...)
+	}
 	if len(patterns) == 0 {
 		writeError(w, http.StatusNotFound, "no patterns for term "+strconv.Quote(term))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"term":     term,
-		"kind":     s.ix.Kind(),
+		"kind":     effective.String(),
 		"patterns": patterns,
 	})
 }
 
 type hitJSON struct {
 	Doc    int     `json:"doc"`
+	Kind   string  `json:"kind"`
 	Stream string  `json:"stream"`
 	Time   int     `json:"time"`
 	Score  float64 `json:"score"`
 }
 
-// runQuery executes a structured query and writes the response shared by
-// both search routes. The request context is threaded through, so a
-// client that disconnects mid-query cancels the retrieval loop.
+// runQuery executes a structured query against the store and writes the
+// response shared by both search routes. The request context is threaded
+// through, so a client that disconnects mid-query cancels the retrieval
+// loop.
 func (s *server) runQuery(w http.ResponseWriter, r *http.Request, q stburst.Query) {
 	s.searches.Add(1)
 	start := time.Now()
-	page, err := s.ix.Query(r.Context(), q)
+	page, err := s.store.Query(r.Context(), q)
 	switch {
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// The client is gone; there is no one left to answer.
 		log.Printf("search cancelled: %v", err)
+		return
+	case errors.Is(err, stburst.ErrKindNotResident):
+		writeError(w, http.StatusNotFound, err.Error())
 		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -299,7 +436,7 @@ func (s *server) runQuery(w http.ResponseWriter, r *http.Request, q stburst.Quer
 	}
 	hits := make([]hitJSON, len(page.Hits))
 	for i, h := range page.Hits {
-		hits[i] = hitJSON{Doc: h.Doc.ID, Stream: h.Stream, Time: h.Doc.Time, Score: h.Score}
+		hits[i] = hitJSON{Doc: h.Doc.ID, Kind: h.Kind.String(), Stream: h.Stream, Time: h.Doc.Time, Score: h.Score}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"query":   q,
@@ -314,7 +451,9 @@ func (s *server) runQuery(w http.ResponseWriter, r *http.Request, q stburst.Quer
 }
 
 // handleSearchV1 answers POST /v1/search: the body is the stburst.Query
-// JSON shape, validated by Engine.Run via Query.Validate.
+// JSON shape — including the kind field routing the query to one
+// burstiness model or fanning it out with "any" — validated by
+// Store.Query via Query.Validate.
 func (s *server) handleSearchV1(w http.ResponseWriter, r *http.Request) {
 	var q stburst.Query
 	dec := json.NewDecoder(r.Body)
@@ -326,8 +465,19 @@ func (s *server) handleSearchV1(w http.ResponseWriter, r *http.Request) {
 	s.runQuery(w, r, q)
 }
 
+// legacyHitJSON is the pre-/v1 hit shape, frozen without the kind tag:
+// legacy clients may validate response fields strictly, so the alias
+// keeps emitting exactly the bytes it always has.
+type legacyHitJSON struct {
+	Doc    int     `json:"doc"`
+	Stream string  `json:"stream"`
+	Time   int     `json:"time"`
+	Score  float64 `json:"score"`
+}
+
 // handleSearchLegacy answers the pre-/v1 GET /search?q=&k= route with the
-// original response shape.
+// original response shape. The query runs with KindAny, which on a
+// single-kind store is exactly the pre-store behavior.
 func (s *server) handleSearchLegacy(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
@@ -344,7 +494,7 @@ func (s *server) handleSearchLegacy(w http.ResponseWriter, r *http.Request) {
 	}
 	s.searches.Add(1)
 	start := time.Now()
-	page, err := s.ix.Query(r.Context(), stburst.Query{Text: q, K: k})
+	page, err := s.store.Query(r.Context(), stburst.Query{Text: q, K: k})
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("search cancelled: %v", err)
@@ -353,9 +503,9 @@ func (s *server) handleSearchLegacy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	out := make([]hitJSON, len(page.Hits))
+	out := make([]legacyHitJSON, len(page.Hits))
 	for i, h := range page.Hits {
-		out[i] = hitJSON{Doc: h.Doc.ID, Stream: h.Stream, Time: h.Doc.Time, Score: h.Score}
+		out[i] = legacyHitJSON{Doc: h.Doc.ID, Stream: h.Stream, Time: h.Doc.Time, Score: h.Score}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"query":      q,

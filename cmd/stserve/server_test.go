@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"stburst"
@@ -41,6 +44,16 @@ func serveCollection(t *testing.T) *stburst.Collection {
 	return c
 }
 
+// storeOf wraps mined indexes into a store over their collection.
+func storeOf(t *testing.T, c *stburst.Collection, ixs ...*stburst.PatternIndex) *stburst.Store {
+	t.Helper()
+	s := stburst.NewStore(c)
+	if err := s.Replace(ixs...); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // get performs a request against the handler and decodes the JSON body.
 func get(t *testing.T, h http.Handler, url string) (int, map[string]any) {
 	t.Helper()
@@ -59,7 +72,7 @@ func get(t *testing.T, h http.Handler, url string) (int, map[string]any) {
 
 func TestServerHealthz(t *testing.T) {
 	c := serveCollection(t)
-	s := newServer(c, c.MineAllRegional(nil, 0))
+	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
 	code, body := get(t, s, "/healthz")
 	if code != http.StatusOK || body["status"] != "ok" {
 		t.Errorf("GET /healthz = %d %v, want 200 ok", code, body)
@@ -69,7 +82,7 @@ func TestServerHealthz(t *testing.T) {
 func TestServerStats(t *testing.T) {
 	c := serveCollection(t)
 	ix := c.MineAllRegional(nil, 0)
-	s := newServer(c, ix)
+	s := newServer(c, storeOf(t, c, ix), "")
 	code, body := get(t, s, "/stats")
 	if code != http.StatusOK {
 		t.Fatalf("GET /stats = %d, want 200", code)
@@ -90,6 +103,10 @@ func TestServerStats(t *testing.T) {
 	if int(body["requests"].(float64)) < 1 {
 		t.Errorf("stats requests %v, want >= 1", body["requests"])
 	}
+	indexes, ok := body["indexes"].([]any)
+	if !ok || len(indexes) != 1 {
+		t.Fatalf("stats indexes %v, want one entry", body["indexes"])
+	}
 }
 
 func TestServerPatterns(t *testing.T) {
@@ -101,7 +118,7 @@ func TestServerPatterns(t *testing.T) {
 	}
 	for kind, ix := range kinds {
 		t.Run(kind, func(t *testing.T) {
-			s := newServer(c, ix)
+			s := newServer(c, storeOf(t, c, ix), "")
 			code, body := get(t, s, "/patterns/earthquake")
 			if code != http.StatusOK {
 				t.Fatalf("GET /patterns/earthquake = %d, want 200", code)
@@ -120,6 +137,9 @@ func TestServerPatterns(t *testing.T) {
 			if _, ok := first["score"]; !ok {
 				t.Errorf("pattern entry missing score: %v", first)
 			}
+			if first["kind"] != kind {
+				t.Errorf("pattern entry kind %v, want %s", first["kind"], kind)
+			}
 			if kind == "regional" {
 				if _, ok := first["rect"]; !ok {
 					t.Errorf("regional pattern missing rect: %v", first)
@@ -137,7 +157,7 @@ func TestServerPatterns(t *testing.T) {
 func TestServerSearch(t *testing.T) {
 	c := serveCollection(t)
 	ix := c.MineAllRegional(nil, 0)
-	s := newServer(c, ix)
+	s := newServer(c, storeOf(t, c, ix), "")
 
 	code, body := get(t, s, "/search?q=earthquake&k=5")
 	if code != http.StatusOK {
@@ -155,6 +175,14 @@ func TestServerSearch(t *testing.T) {
 	if int(first["doc"].(float64)) != want[0].Doc.ID || first["stream"] != want[0].Stream {
 		t.Errorf("first hit %v, want doc %d stream %s", first, want[0].Doc.ID, want[0].Stream)
 	}
+	// The legacy hit shape is frozen: no kind tag, exactly the pre-store
+	// fields, so strict legacy clients keep decoding.
+	if _, ok := first["kind"]; ok {
+		t.Errorf("legacy /search hit gained a kind field: %v", first)
+	}
+	if len(first) != 4 {
+		t.Errorf("legacy /search hit has %d fields %v, want exactly doc/stream/time/score", len(first), first)
+	}
 
 	// A query term outside every pattern yields an empty hit list, not an
 	// error (Eq. 10: the document set is empty, the query is still valid).
@@ -169,7 +197,7 @@ func TestServerSearch(t *testing.T) {
 
 func TestServerSearchValidation(t *testing.T) {
 	c := serveCollection(t)
-	s := newServer(c, c.MineAllRegional(nil, 0))
+	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
 	for _, url := range []string{"/search", "/search?q=", "/search?q=earthquake&k=0", "/search?q=earthquake&k=-3", "/search?q=earthquake&k=abc"} {
 		if code, body := get(t, s, url); code != http.StatusBadRequest {
 			t.Errorf("GET %s = %d %v, want 400", url, code, body)
@@ -181,7 +209,7 @@ func TestServerSearchValidation(t *testing.T) {
 
 func TestServerMethodAndRouteErrors(t *testing.T) {
 	c := serveCollection(t)
-	s := newServer(c, c.MineAllRegional(nil, 0))
+	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
 
 	req := httptest.NewRequest(http.MethodPost, "/search?q=earthquake", strings.NewReader(""))
 	rec := httptest.NewRecorder()
@@ -196,11 +224,19 @@ func TestServerMethodAndRouteErrors(t *testing.T) {
 	if rec.Code != http.StatusNotFound {
 		t.Errorf("GET /nosuchroute = %d, want 404", rec.Code)
 	}
+
+	// Reload is POST-only.
+	req = httptest.NewRequest(http.MethodGet, "/v1/reload", nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/reload = %d, want 405", rec.Code)
+	}
 }
 
 func TestServerConcurrentReads(t *testing.T) {
 	c := serveCollection(t)
-	s := newServer(c, c.MineAllRegional(nil, 0))
+	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
 	done := make(chan struct{})
 	for g := 0; g < 8; g++ {
 		go func() {
@@ -239,7 +275,7 @@ func postJSON(t *testing.T, h http.Handler, url, body string) (int, map[string]a
 func TestServerV1Aliases(t *testing.T) {
 	c := serveCollection(t)
 	ix := c.MineAllRegional(nil, 0)
-	s := newServer(c, ix)
+	s := newServer(c, storeOf(t, c, ix), "")
 	if code, body := get(t, s, "/v1/healthz"); code != http.StatusOK || body["status"] != "ok" {
 		t.Errorf("GET /v1/healthz = %d %v, want 200 ok", code, body)
 	}
@@ -257,7 +293,7 @@ func TestServerV1Aliases(t *testing.T) {
 func TestServerV1SearchRoundTrip(t *testing.T) {
 	c := serveCollection(t)
 	ix := c.MineAllRegional(nil, 0)
-	s := newServer(c, ix)
+	s := newServer(c, storeOf(t, c, ix), "")
 	cases := []struct {
 		name string
 		body string
@@ -265,6 +301,7 @@ func TestServerV1SearchRoundTrip(t *testing.T) {
 	}{
 		{"plain", `{"text":"earthquake","k":5}`, stburst.Query{Text: "earthquake", K: 5}},
 		{"terms", `{"terms":["earthquake","rescue"],"k":5}`, stburst.Query{Terms: []string{"earthquake", "rescue"}, K: 5}},
+		{"kind", `{"text":"earthquake","kind":"regional","k":5}`, stburst.Query{Text: "earthquake", Kind: stburst.KindRegional, K: 5}},
 		{"region", `{"text":"earthquake","k":50,"region":{"min_x":-1,"min_y":-1,"max_x":4,"max_y":3}}`,
 			stburst.Query{Text: "earthquake", K: 50, Region: &stburst.Rect{MinX: -1, MinY: -1, MaxX: 4, MaxY: 3}}},
 		{"time", `{"text":"earthquake","k":50,"time":{"start":5,"end":7}}`,
@@ -292,7 +329,8 @@ func TestServerV1SearchRoundTrip(t *testing.T) {
 				if int(h["doc"].(float64)) != want.Hits[i].Doc.ID ||
 					h["stream"] != want.Hits[i].Stream ||
 					int(h["time"].(float64)) != want.Hits[i].Doc.Time ||
-					h["score"].(float64) != want.Hits[i].Score {
+					h["score"].(float64) != want.Hits[i].Score ||
+					h["kind"] != "regional" {
 					t.Errorf("hit %d: HTTP %v, in-process %+v", i, h, want.Hits[i])
 				}
 			}
@@ -305,13 +343,15 @@ func TestServerV1SearchRoundTrip(t *testing.T) {
 
 func TestServerV1SearchValidation(t *testing.T) {
 	c := serveCollection(t)
-	s := newServer(c, c.MineAllRegional(nil, 0))
+	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
 	bodies := []string{
 		`not json`,
 		`{}`,
 		`{"text":"a","terms":["b"]}`,
 		`{"text":"a","k":-1}`,
 		`{"text":"a","offset":-1}`,
+		`{"text":"a","kind":"nope"}`,
+		`{"text":"a","kind":7}`,
 		`{"text":"a","region":{"min_x":5,"max_x":1,"min_y":0,"max_y":1}}`,
 		`{"text":"a","time":{"start":9,"end":2}}`,
 		`{"text":"a","bogus_field":1}`,
@@ -336,7 +376,7 @@ func TestServerV1SearchValidation(t *testing.T) {
 // and an all-excluding filter reads as 404.
 func TestServerV1PatternsFiltered(t *testing.T) {
 	c := serveCollection(t)
-	s := newServer(c, c.MineAllRegional(nil, 0))
+	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
 
 	code, body := get(t, s, "/v1/patterns/earthquake")
 	if code != http.StatusOK {
@@ -370,6 +410,7 @@ func TestServerV1PatternsFiltered(t *testing.T) {
 		"/v1/patterns/earthquake?region=5,5,1,1",
 		"/v1/patterns/earthquake?from=x",
 		"/v1/patterns/earthquake?from=9&to=2",
+		"/v1/patterns/earthquake?kind=nope",
 	} {
 		if code, body := get(t, s, url); code != http.StatusBadRequest {
 			t.Errorf("GET %s = %d %v, want 400", url, code, body)
@@ -398,7 +439,7 @@ func TestWriteJSONEncodeFailure(t *testing.T) {
 // unbounded page (stburst.MaxK caps K and Offset at validation time).
 func TestServerV1SearchResourceLimits(t *testing.T) {
 	c := serveCollection(t)
-	s := newServer(c, c.MineAllRegional(nil, 0))
+	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
 	for _, body := range []string{
 		`{"text":"earthquake","k":500000000}`,
 		`{"text":"earthquake","k":5,"offset":4000000000}`,
@@ -414,7 +455,7 @@ func TestServerV1SearchResourceLimits(t *testing.T) {
 // only an explicit from > to is rejected.
 func TestServerV1PatternsOpenEndedSpan(t *testing.T) {
 	c := serveCollection(t) // timeline 12
-	s := newServer(c, c.MineAllRegional(nil, 0))
+	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
 	if code, body := get(t, s, "/v1/patterns/earthquake?from=100"); code != http.StatusNotFound {
 		t.Errorf("?from=100 (past the timeline) = %d %v, want 404", code, body)
 	}
@@ -423,5 +464,236 @@ func TestServerV1PatternsOpenEndedSpan(t *testing.T) {
 	}
 	if code, body := get(t, s, "/v1/patterns/earthquake?from=100&to=2"); code != http.StatusBadRequest {
 		t.Errorf("explicit from>to = %d %v, want 400", code, body)
+	}
+}
+
+// multiKindServer boots a server over a store holding all three kinds.
+func multiKindServer(t *testing.T, snapshotPath string) (*stburst.Collection, *stburst.Store, *server) {
+	t.Helper()
+	c := serveCollection(t)
+	store, err := c.MineStore(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, store, newServer(c, store, snapshotPath)
+}
+
+// TestServerV1Indexes: the resident kinds are listed with their sizes
+// and fingerprints.
+func TestServerV1Indexes(t *testing.T) {
+	c, store, s := multiKindServer(t, "")
+	_ = c
+	code, body := get(t, s, "/v1/indexes")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/indexes = %d, want 200", code)
+	}
+	indexes, ok := body["indexes"].([]any)
+	if !ok || len(indexes) != 3 {
+		t.Fatalf("indexes = %v, want 3 entries", body["indexes"])
+	}
+	wantKinds := []string{"regional", "combinatorial", "temporal"}
+	for i, raw := range indexes {
+		entry := raw.(map[string]any)
+		if entry["kind"] != wantKinds[i] {
+			t.Errorf("index %d kind %v, want %s", i, entry["kind"], wantKinds[i])
+		}
+		ix := store.Index(stburst.Kinds()[i])
+		if entry["fingerprint"] != ix.Fingerprint() {
+			t.Errorf("index %d fingerprint %v, want %s", i, entry["fingerprint"], ix.Fingerprint())
+		}
+		if int(entry["patterns"].(float64)) != ix.NumPatterns() {
+			t.Errorf("index %d patterns %v, want %d", i, entry["patterns"], ix.NumPatterns())
+		}
+	}
+}
+
+// TestServerMultiKindSearch: one process answers /v1/search for each
+// concrete kind and for kind:"any", matching the in-process store.
+func TestServerMultiKindSearch(t *testing.T) {
+	_, store, s := multiKindServer(t, "")
+	for _, kind := range []string{"regional", "combinatorial", "temporal", "any"} {
+		t.Run(kind, func(t *testing.T) {
+			k, err := stburst.ParseKind(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := store.Query(context.Background(), stburst.Query{Text: "earthquake", Kind: k, K: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			code, body := postJSON(t, s, "/v1/search", `{"text":"earthquake","kind":"`+kind+`","k":10}`)
+			if code != http.StatusOK {
+				t.Fatalf("POST /v1/search kind=%s = %d %v, want 200", kind, code, body)
+			}
+			hits, _ := body["hits"].([]any)
+			if len(hits) != len(want.Hits) {
+				t.Fatalf("kind %s: HTTP returned %d hits, in-process %d", kind, len(hits), len(want.Hits))
+			}
+			for i, raw := range hits {
+				h := raw.(map[string]any)
+				if int(h["doc"].(float64)) != want.Hits[i].Doc.ID ||
+					h["kind"] != want.Hits[i].Kind.String() ||
+					h["score"].(float64) != want.Hits[i].Score {
+					t.Errorf("kind %s hit %d: HTTP %v, in-process %+v", kind, i, h, want.Hits[i])
+				}
+			}
+		})
+	}
+	// kind:"any" over a multi-kind store must attribute hits to more than
+	// one kind somewhere in a large page.
+	code, body := postJSON(t, s, "/v1/search", `{"text":"earthquake","kind":"any","k":200}`)
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/search any = %d, want 200", code)
+	}
+	seen := map[string]bool{}
+	for _, raw := range body["hits"].([]any) {
+		seen[raw.(map[string]any)["kind"].(string)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("kind any returned hits from kinds %v, want several", seen)
+	}
+}
+
+// TestServerSearchKindNotResident: naming a kind the store does not hold
+// is 404, not 400 or an empty 200.
+func TestServerSearchKindNotResident(t *testing.T) {
+	c := serveCollection(t)
+	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
+	code, body := postJSON(t, s, "/v1/search", `{"text":"earthquake","kind":"temporal"}`)
+	if code != http.StatusNotFound {
+		t.Errorf("POST /v1/search kind=temporal on regional-only store = %d %v, want 404", code, body)
+	}
+	if code, body := get(t, s, "/v1/patterns/earthquake?kind=temporal"); code != http.StatusNotFound {
+		t.Errorf("GET /v1/patterns?kind=temporal on regional-only store = %d %v, want 404", code, body)
+	}
+}
+
+// TestServerPatternsKindParam: ?kind= narrows the listing; the default
+// on a multi-kind store is "any" with per-pattern attribution.
+func TestServerPatternsKindParam(t *testing.T) {
+	_, _, s := multiKindServer(t, "")
+	code, body := get(t, s, "/v1/patterns/earthquake")
+	if code != http.StatusOK || body["kind"] != "any" {
+		t.Fatalf("default listing = %d kind=%v, want 200 any", code, body["kind"])
+	}
+	all := body["patterns"].([]any)
+	kindsSeen := map[string]int{}
+	for _, raw := range all {
+		kindsSeen[raw.(map[string]any)["kind"].(string)]++
+	}
+	if len(kindsSeen) != 3 {
+		t.Fatalf("default listing covers kinds %v, want all three", kindsSeen)
+	}
+	for _, kind := range []string{"regional", "combinatorial", "temporal"} {
+		code, body := get(t, s, "/v1/patterns/earthquake?kind="+kind)
+		if code != http.StatusOK || body["kind"] != kind {
+			t.Fatalf("kind=%s listing = %d kind=%v, want 200 %s", kind, code, body["kind"], kind)
+		}
+		patterns := body["patterns"].([]any)
+		if len(patterns) != kindsSeen[kind] {
+			t.Errorf("kind=%s listing has %d patterns, the any listing had %d", kind, len(patterns), kindsSeen[kind])
+		}
+		for _, raw := range patterns {
+			if got := raw.(map[string]any)["kind"]; got != kind {
+				t.Errorf("kind=%s listing contains a %v pattern", kind, got)
+			}
+		}
+	}
+}
+
+// TestServerReload: POST /v1/reload atomically swaps the resident set to
+// the current file contents while a concurrent query hammer observes
+// nothing but complete, consistent answers. Run under -race this also
+// proves the swap path is data-race free.
+func TestServerReload(t *testing.T) {
+	c := serveCollection(t)
+	path := filepath.Join(t.TempDir(), "corpus.bundle")
+
+	full, err := c.MineStore(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Boot from a single-kind store, then reload into the full bundle.
+	regional := c.MineAllRegional(nil, 0)
+	s := newServer(c, storeOf(t, c, regional), path)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, body := postJSON(t, s, "/v1/search", `{"text":"earthquake","kind":"any","k":5}`)
+				if code != http.StatusOK {
+					t.Errorf("hammered search = %d %v", code, body)
+					return
+				}
+				if code, _ := get(t, s, "/v1/indexes"); code != http.StatusOK {
+					t.Errorf("hammered indexes = %d", code)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5; i++ {
+		code, body := postJSON(t, s, "/v1/reload", "")
+		if code != http.StatusOK || body["reloaded"] != true {
+			t.Fatalf("POST /v1/reload #%d = %d %v, want 200 reloaded", i, code, body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// After the reload the store serves all three kinds from the bundle.
+	code, body := get(t, s, "/v1/indexes")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/indexes after reload = %d", code)
+	}
+	indexes := body["indexes"].([]any)
+	if len(indexes) != 3 {
+		t.Fatalf("after reload %d indexes resident, want 3: %v", len(indexes), body)
+	}
+	for i, kind := range stburst.Kinds() {
+		entry := indexes[i].(map[string]any)
+		if entry["fingerprint"] != full.Index(kind).Fingerprint() {
+			t.Errorf("reloaded %v fingerprint %v, want %s", kind, entry["fingerprint"], full.Index(kind).Fingerprint())
+		}
+	}
+}
+
+// TestServerReloadErrors: reload without a snapshot path is 409; a
+// corrupt file is a 500 that leaves the old resident set serving.
+func TestServerReloadErrors(t *testing.T) {
+	c := serveCollection(t)
+	ix := c.MineAllRegional(nil, 0)
+	s := newServer(c, storeOf(t, c, ix), "")
+	if code, body := postJSON(t, s, "/v1/reload", ""); code != http.StatusConflict {
+		t.Errorf("reload without path = %d %v, want 409", code, body)
+	}
+
+	path := filepath.Join(t.TempDir(), "corrupt.bundle")
+	if err := os.WriteFile(path, []byte("not a bundle at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s = newServer(c, storeOf(t, c, ix), path)
+	if code, body := postJSON(t, s, "/v1/reload", ""); code != http.StatusInternalServerError {
+		t.Errorf("reload of corrupt file = %d %v, want 500", code, body)
+	}
+	// The old index still serves.
+	if code, _ := get(t, s, "/search?q=earthquake&k=3"); code != http.StatusOK {
+		t.Errorf("search after failed reload = %d, want 200", code)
+	}
+	code, body := get(t, s, "/v1/indexes")
+	if code != http.StatusOK || len(body["indexes"].([]any)) != 1 {
+		t.Errorf("indexes after failed reload = %d %v, want the original single index", code, body)
 	}
 }

@@ -95,17 +95,55 @@
 //
 // LoadCorpus rebuilds a Collection from the JSONL interchange format of
 // cmd/stgen, interning deterministically so snapshots round-trip across
-// processes with byte-identical fingerprints. The CLI pipeline mirrors
-// the API: stgen generates a corpus, stmine -all -o mines it into a
-// snapshot, and stserve loads the snapshot and serves the versioned
-// /v1 JSON API — POST /v1/search (the Query JSON shape),
-// GET /v1/patterns/{term} with region/from/to filters, /v1/stats and
-// /v1/healthz — plus the legacy unversioned aliases, off the immutable
-// index.
+// processes with byte-identical fingerprints.
+//
+// # The multi-kind store
+//
+// The paper's three burstiness models (regional, combinatorial,
+// temporal) expose different facets of the same corpus. A Store holds
+// one PatternIndex per Kind over a shared Collection and serves them
+// side by side: Query.Kind routes a query to one model, and KindAny —
+// the zero Kind, so an absent "kind" in the JSON shape — fans out to
+// every resident index and merges the rankings by score, tagging each
+// Hit with the Kind that scored it. MineStore mines all three kinds in
+// one pass over a single worker pool:
+//
+//	store, err := c.MineStore(ctx, nil) // (term, kind) work list, one pool
+//	page, err := store.Query(ctx, stburst.Query{Text: "earthquake", K: 10})
+//	for _, h := range page.Hits {
+//	    fmt.Println(h.Kind, h.Doc.ID, h.Score) // per-model attribution
+//	}
+//
+// A Store persists as a bundle — a manifest of per-kind members, each a
+// complete snapshot, under one stream checksum — and loads back with
+// every layer verified:
+//
+//	f, _ := os.Create("corpus.bundle")
+//	store.Save(f)
+//	f.Close()
+//
+//	// ... later, in a serving process over the same corpus:
+//	f, _ = os.Open("corpus.bundle")
+//	loaded, err := stburst.LoadStore(f, c) // also accepts a bare .stb
+//
+// The resident set lives behind one atomic pointer, so a long-running
+// service hot-swaps freshly mined indexes without pausing queries:
+// Store.Swap(kind, ix) replaces one kind, Store.Replace installs a
+// whole new set in a single atomic step, and queries in flight keep the
+// set they resolved.
+//
+// The CLI pipeline mirrors the API: stgen generates a corpus,
+// stmine -all -method all -o mines it into a bundle, and stserve loads
+// the bundle and serves the versioned /v1 JSON API — POST /v1/search
+// (the Query JSON shape, including "kind"), GET /v1/patterns/{term}
+// with kind/region/from/to filters, GET /v1/indexes, POST /v1/reload
+// (atomic snapshot reload), /v1/stats and /v1/healthz — plus the legacy
+// unversioned aliases, off the immutable indexes.
 //
 // See README.md for the CLI tour, the examples directory for runnable
 // end-to-end programs, and DESIGN.md for the system inventory, the
-// request flow of the /v1 service, the snapshot format specification and
-// the concurrency contracts of the mining engine; cmd/stbench reproduces
-// every table and figure of the paper's evaluation.
+// request flow of the /v1 service, the snapshot and bundle format
+// specifications and the concurrency contracts of the mining engine;
+// cmd/stbench reproduces every table and figure of the paper's
+// evaluation.
 package stburst

@@ -64,22 +64,33 @@ func main() {
 		}
 		fmt.Println()
 	}
+	// One pass over a shared worker pool mines every kind into a store
+	// that serves the three models side by side.
 	ctx := context.Background()
-	indexes := map[stburst.Kind]*stburst.PatternIndex{}
-	for _, kind := range []stburst.Kind{stburst.KindRegional, stburst.KindCombinatorial, stburst.KindTemporal} {
-		ix, err := c.Mine(ctx, kind, nil)
-		if err != nil {
-			log.Fatal(err)
-		}
-		indexes[kind] = ix
-		show(kind.String(), ix.Search("gadget launch", 4))
+	store, err := c.MineStore(ctx, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, kind := range store.Kinds() {
+		show(kind.String(), store.Index(kind).Search("gadget launch", 4))
+	}
+
+	// A KindAny query fans out to every model and merges the rankings;
+	// each hit names the model that scored it.
+	fmt.Println("\n== kind \"any\": all models merged, hits attributed ==")
+	merged, err := store.Query(ctx, stburst.Query{Text: "gadget launch", K: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range merged.Hits {
+		fmt.Printf("  %-13s %s/w%-2d score %5.1f\n", h.Kind, h.Stream, h.Doc.Time, h.Score)
 	}
 
 	// Structured queries isolate each wave by asking where and when:
 	// the US launch near the west coast at weeks 4-6, the European one
 	// around Berlin/Paris at weeks 14-16.
 	fmt.Println("\n== structured queries: one wave at a time (regional engine) ==")
-	ix := indexes[stburst.KindRegional]
+	ix := store.Index(stburst.KindRegional)
 	waves := []struct {
 		name   string
 		region stburst.Rect

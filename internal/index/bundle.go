@@ -1,0 +1,255 @@
+package index
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Bundle binary format (".bundle", little-endian throughout):
+//
+//	magic    [8]byte  "STBBNDL\x00"
+//	version  uint32   currently 1
+//	count    uint32   number of member snapshots (1..3)
+//	then, for each member, one manifest entry:
+//	  kind        uint32   PatternKind; entries in strictly ascending order
+//	  length      uint64   byte length of the member's snapshot stream
+//	  fingerprint [32]byte the member's canonical PatternSet fingerprint
+//	members     count complete snapshot streams (the ".stb" format of
+//	            snapshot.go), concatenated, each exactly length bytes
+//	checksum    [32]byte raw SHA-256 over every preceding byte
+//
+// The manifest makes the bundle self-describing — a reader learns which
+// kinds are present and their fingerprints without decoding a single
+// pattern — and the trailing checksum covers the manifest itself, so a
+// flipped kind, length or fingerprint is caught even though each member
+// snapshot only self-verifies its own bytes. ReadBundle additionally
+// checks every decoded member against its manifest entry: the kind and
+// the canonical fingerprint must both match. See DESIGN.md for the full
+// specification.
+
+// bundleMagic identifies a pattern-index bundle stream.
+const bundleMagic = "STBBNDL\x00"
+
+// BundleVersion is the codec version written by WriteBundle and the only
+// version ReadBundle accepts.
+const BundleVersion = 1
+
+// maxBundleMembers bounds the member count: one slot per pattern kind.
+const maxBundleMembers = 3
+
+// WriteBundle serializes the given pattern sets as one bundle: a
+// manifest, then each set as an ordinary snapshot stream, then a stream
+// checksum over the whole file. Sets must be non-empty, hold distinct
+// kinds, and be ordered by ascending kind (the canonical regional,
+// combinatorial, temporal order); term resolves interned IDs to strings
+// as in WriteSnapshot.
+func WriteBundle(w io.Writer, sets []*PatternSet, term func(id int) string) error {
+	if len(sets) == 0 || len(sets) > maxBundleMembers {
+		return fmt.Errorf("index: bundle needs 1..%d member sets, got %d", maxBundleMembers, len(sets))
+	}
+	members := make([]*bytes.Buffer, len(sets))
+	for i, s := range sets {
+		if i > 0 && sets[i-1].Kind() >= s.Kind() {
+			return fmt.Errorf("index: bundle members must be in ascending kind order (%v before %v)",
+				sets[i-1].Kind(), s.Kind())
+		}
+		members[i] = &bytes.Buffer{}
+		if err := WriteSnapshot(members[i], s, term); err != nil {
+			return fmt.Errorf("index: encoding bundle member %v: %w", s.Kind(), err)
+		}
+	}
+
+	h := sha256.New()
+	bw := bufio.NewWriter(w)
+	out := io.MultiWriter(bw, h)
+	var buf [8]byte
+	if _, err := out.Write([]byte(bundleMagic)); err != nil {
+		return fmt.Errorf("index: writing bundle: %w", err)
+	}
+	binary.LittleEndian.PutUint32(buf[:4], BundleVersion)
+	if _, err := out.Write(buf[:4]); err != nil {
+		return fmt.Errorf("index: writing bundle: %w", err)
+	}
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(sets)))
+	if _, err := out.Write(buf[:4]); err != nil {
+		return fmt.Errorf("index: writing bundle: %w", err)
+	}
+	for i, s := range sets {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(s.Kind()))
+		if _, err := out.Write(buf[:4]); err != nil {
+			return fmt.Errorf("index: writing bundle: %w", err)
+		}
+		binary.LittleEndian.PutUint64(buf[:8], uint64(members[i].Len()))
+		if _, err := out.Write(buf[:8]); err != nil {
+			return fmt.Errorf("index: writing bundle: %w", err)
+		}
+		fp, err := hex.DecodeString(s.Fingerprint())
+		if err != nil {
+			return fmt.Errorf("index: encoding bundle fingerprint: %w", err)
+		}
+		if _, err := out.Write(fp); err != nil {
+			return fmt.Errorf("index: writing bundle: %w", err)
+		}
+	}
+	for _, m := range members {
+		if _, err := out.Write(m.Bytes()); err != nil {
+			return fmt.Errorf("index: writing bundle: %w", err)
+		}
+	}
+	if _, err := bw.Write(h.Sum(nil)); err != nil { // the footer is not part of its own checksum
+		return fmt.Errorf("index: writing bundle: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("index: writing bundle: %w", err)
+	}
+	return nil
+}
+
+// bundleManifestEntry is one decoded manifest record.
+type bundleManifestEntry struct {
+	kind        PatternKind
+	length      uint64
+	fingerprint [32]byte
+}
+
+// ReadBundle decodes a bundle written by WriteBundle and verifies its
+// integrity end to end: the magic, version and member count must be
+// valid, the manifest kinds strictly ascending, every member snapshot
+// must decode (with its own checksum and fingerprint checks) to exactly
+// its declared length, kind and manifest fingerprint, the trailing
+// stream checksum must match, and no bytes may follow it. Truncated or
+// corrupted input — including a tampered manifest — yields an error,
+// never a silently damaged store.
+func ReadBundle(r io.Reader) ([]*Snapshot, error) {
+	h := sha256.New()
+	tr := io.TeeReader(r, h)
+	fail := func(err error) ([]*Snapshot, error) {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("index: reading bundle: %w", err)
+	}
+
+	var head [16]byte
+	if _, err := io.ReadFull(tr, head[:]); err != nil {
+		return fail(err)
+	}
+	if string(head[:8]) != bundleMagic {
+		return nil, fmt.Errorf("index: not a pattern-index bundle (bad magic %q)", head[:8])
+	}
+	if v := binary.LittleEndian.Uint32(head[8:12]); v != BundleVersion {
+		return nil, fmt.Errorf("index: unsupported bundle version %d (want %d)", v, BundleVersion)
+	}
+	count := binary.LittleEndian.Uint32(head[12:16])
+	if count == 0 || count > maxBundleMembers {
+		return nil, fmt.Errorf("index: bundle member count %d outside [1, %d]", count, maxBundleMembers)
+	}
+
+	manifest := make([]bundleManifestEntry, count)
+	for i := range manifest {
+		var entry [44]byte // kind(4) + length(8) + fingerprint(32)
+		if _, err := io.ReadFull(tr, entry[:]); err != nil {
+			return fail(err)
+		}
+		kind := PatternKind(binary.LittleEndian.Uint32(entry[:4]))
+		if kind != KindRegional && kind != KindCombinatorial && kind != KindTemporal {
+			return nil, fmt.Errorf("index: bundle manifest names unknown pattern kind %d", kind)
+		}
+		if i > 0 && manifest[i-1].kind >= kind {
+			return nil, fmt.Errorf("index: bundle manifest kinds not strictly ascending (%v after %v)",
+				kind, manifest[i-1].kind)
+		}
+		manifest[i].kind = kind
+		manifest[i].length = binary.LittleEndian.Uint64(entry[4:12])
+		copy(manifest[i].fingerprint[:], entry[12:])
+	}
+
+	snaps := make([]*Snapshot, count)
+	for i, entry := range manifest {
+		snap, err := ReadSnapshot(io.LimitReader(tr, int64(entry.length)))
+		if err != nil {
+			return nil, fmt.Errorf("index: reading bundle %v member: %w", entry.kind, err)
+		}
+		if got := snap.Set.Kind(); got != entry.kind {
+			return nil, fmt.Errorf("index: bundle %v member actually holds %v patterns", entry.kind, got)
+		}
+		if got := snap.Set.Fingerprint(); got != hex.EncodeToString(entry.fingerprint[:]) {
+			return nil, fmt.Errorf("index: bundle %v member fingerprint %.12s... does not match manifest %.12s...",
+				entry.kind, got, hex.EncodeToString(entry.fingerprint[:]))
+		}
+		snaps[i] = snap
+	}
+
+	sum := h.Sum(nil)
+	var stored [32]byte
+	if _, err := io.ReadFull(r, stored[:]); err != nil { // footer: not tee'd into the checksum
+		return fail(err)
+	}
+	if !bytes.Equal(sum, stored[:]) {
+		return nil, fmt.Errorf("index: bundle corrupted: stream checksum mismatch")
+	}
+	var trailing [1]byte
+	if _, err := io.ReadFull(r, trailing[:]); err != io.EOF {
+		return nil, fmt.Errorf("index: bundle has trailing data after checksum footer")
+	}
+	return snaps, nil
+}
+
+// WriteBundleFile saves a bundle atomically: it writes to a temp file in
+// the destination directory and renames over the target, so a crash or
+// full disk mid-save never leaves a truncated bundle for the next boot
+// to trip over.
+func WriteBundleFile(path string, sets []*PatternSet, term func(id int) string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bundle-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteBundle(tmp, sets, term); err != nil {
+		tmp.Close()
+		return err
+	}
+	// CreateTemp uses 0600; bundles are mined by one user and served by
+	// another, so widen to the conventional 0644 before publishing.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadStore decodes either on-disk store artifact: a multi-member
+// bundle (ReadBundle) or a bare single-index snapshot (ReadSnapshot),
+// sniffed by magic. It is the boot-time entry point that lets a serving
+// process accept whichever file the mining pipeline produced.
+func ReadStore(r io.Reader) ([]*Snapshot, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(8)
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("index: input too short to be a snapshot or bundle")
+		}
+		return nil, fmt.Errorf("index: reading store: %w", err)
+	}
+	switch string(magic) {
+	case bundleMagic:
+		return ReadBundle(br)
+	case snapshotMagic:
+		snap, err := ReadSnapshot(br)
+		if err != nil {
+			return nil, err
+		}
+		return []*Snapshot{snap}, nil
+	}
+	return nil, fmt.Errorf("index: not a pattern-index snapshot or bundle (bad magic %q)", magic)
+}

@@ -114,3 +114,59 @@ func MineTemporalPar(col *stream.Collection, det burst.Detector, workers int) ma
 	ivs, _ := MineTemporalParCtx(context.Background(), col, det, workers)
 	return ivs
 }
+
+// MineAllKindsParCtx mines all three pattern kinds in a single pass: one
+// bounded worker pool drains a (term, kind) work list of 3×|vocabulary|
+// items, so a slow regional term overlaps with cheap temporal work
+// instead of the three kinds running as separate sequential sweeps. The
+// jobs interleave kinds (term-major) to keep the tail of the pass mixed.
+// Output is bit-identical to running the three single-kind miners
+// separately, for every worker count. A cancelled context aborts the
+// pass with ctx.Err().
+func MineAllKindsParCtx(ctx context.Context, col *stream.Collection, lopts core.STLocalOptions, copts core.STCombOptions, det burst.Detector, workers int) (map[int][]core.Window, map[int][]core.CombPattern, map[int][]burst.Interval, error) {
+	if det == nil {
+		det = burst.Discrepancy{}
+	}
+	terms := sortedCorpusTerms(col)
+	points := col.Points()
+	var (
+		windows  = make([][]core.Window, len(terms))
+		combs    = make([][]core.CombPattern, len(terms))
+		temporal = make([][]burst.Interval, len(terms))
+	)
+	if err := par.ForEachCtx(ctx, 3*len(terms), workers, func(i int) {
+		termsMined.Add(1)
+		term := terms[i/3]
+		switch i % 3 {
+		case 0:
+			ws, err := core.MineLocal(col.Surface(term), points, lopts)
+			if err != nil {
+				// Surfaces are always well-formed here; an error indicates
+				// a programming bug, not bad input.
+				panic(err)
+			}
+			windows[i/3] = ws
+		case 1:
+			combs[i/3] = core.STComb(col.Surface(term), copts)
+		case 2:
+			temporal[i/3] = det.Detect(col.MergedSeries(term))
+		}
+	}); err != nil {
+		return nil, nil, nil, err
+	}
+	wOut := make(map[int][]core.Window, len(terms))
+	cOut := make(map[int][]core.CombPattern, len(terms))
+	tOut := make(map[int][]burst.Interval, len(terms))
+	for i, term := range terms {
+		if len(windows[i]) > 0 {
+			wOut[term] = windows[i]
+		}
+		if len(combs[i]) > 0 {
+			cOut[term] = combs[i]
+		}
+		if len(temporal[i]) > 0 {
+			tOut[term] = temporal[i]
+		}
+	}
+	return wOut, cOut, tOut, nil
+}

@@ -2,6 +2,7 @@ package stburst
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
@@ -10,12 +11,18 @@ import (
 	"stburst/internal/search"
 )
 
-// Kind identifies a pattern type and the miner that produces it.
+// Kind identifies a pattern type and the miner that produces it. The
+// zero value is KindAny, so a Query that never mentions a kind fans out
+// to every index resident in a Store.
 type Kind int
 
 const (
+	// KindAny selects every resident kind: Store.Query fans the request
+	// out to each index it holds and merges the hits. It is the zero
+	// value, never a kind an index can store.
+	KindAny Kind = iota
 	// KindRegional selects STLocal regional windows (§4).
-	KindRegional Kind = iota
+	KindRegional
 	// KindCombinatorial selects STComb combinatorial patterns (§3).
 	KindCombinatorial
 	// KindTemporal selects merged-stream temporal intervals (the TB
@@ -23,15 +30,59 @@ const (
 	KindTemporal
 )
 
-// String returns the kind's name: "regional", "combinatorial" or
-// "temporal".
-func (k Kind) String() string { return index.PatternKind(k).String() }
+// Kinds lists the concrete pattern kinds in canonical (regional,
+// combinatorial, temporal) order — the fan-out and serialization order
+// used by Store and the bundle format.
+func Kinds() []Kind { return []Kind{KindRegional, KindCombinatorial, KindTemporal} }
 
-// ParseKind resolves a kind name, accepting both the pattern names
-// (regional, combinatorial, temporal) and the paper's miner names
-// (stlocal, stcomb, tb) the CLI tools historically used.
+// patternKind maps a concrete kind onto the internal pattern-set kind.
+// It reports false for KindAny and out-of-range values, which name no
+// single pattern type.
+func (k Kind) patternKind() (index.PatternKind, bool) {
+	switch k {
+	case KindRegional:
+		return index.KindRegional, true
+	case KindCombinatorial:
+		return index.KindCombinatorial, true
+	case KindTemporal:
+		return index.KindTemporal, true
+	}
+	return 0, false
+}
+
+// kindOf lifts an internal pattern-set kind back into the public enum.
+func kindOf(pk index.PatternKind) Kind {
+	switch pk {
+	case index.KindRegional:
+		return KindRegional
+	case index.KindCombinatorial:
+		return KindCombinatorial
+	case index.KindTemporal:
+		return KindTemporal
+	}
+	return KindAny
+}
+
+// String returns the kind's name: "any", "regional", "combinatorial" or
+// "temporal".
+func (k Kind) String() string {
+	if k == KindAny {
+		return "any"
+	}
+	pk, ok := k.patternKind()
+	if !ok {
+		return "unknown"
+	}
+	return pk.String()
+}
+
+// ParseKind resolves a kind name, accepting the pattern names (regional,
+// combinatorial, temporal), the paper's miner names (stlocal, stcomb,
+// tb) the CLI tools historically used, and "any" for the Store fan-out.
 func ParseKind(s string) (Kind, error) {
 	switch s {
+	case "any":
+		return KindAny, nil
 	case "regional", "stlocal":
 		return KindRegional, nil
 	case "combinatorial", "stcomb":
@@ -39,7 +90,35 @@ func ParseKind(s string) (Kind, error) {
 	case "temporal", "tb":
 		return KindTemporal, nil
 	}
-	return 0, fmt.Errorf("stburst: unknown pattern kind %q (want regional/stlocal, combinatorial/stcomb or temporal/tb)", s)
+	return 0, fmt.Errorf("stburst: unknown pattern kind %q (want any, regional/stlocal, combinatorial/stcomb or temporal/tb)", s)
+}
+
+// MarshalJSON encodes the kind as its name, the representation the /v1
+// HTTP surface speaks.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	if _, ok := k.patternKind(); !ok && k != KindAny {
+		return nil, fmt.Errorf("stburst: cannot encode unknown pattern kind %d", int(k))
+	}
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes a kind name as accepted by ParseKind. The empty
+// string is KindAny, matching the zero value of an absent field.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("stburst: pattern kind must be a JSON string: %w", err)
+	}
+	if s == "" {
+		*k = KindAny
+		return nil
+	}
+	parsed, err := ParseKind(s)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
 }
 
 // MineOptions configures Collection.Mine. The zero value (or a nil
@@ -119,7 +198,36 @@ func (c *Collection) Mine(ctx context.Context, kind Kind, opts *MineOptions) (*P
 		}
 		return &PatternIndex{c: c, set: index.NewTemporalSet(temporal)}, nil
 	}
-	return nil, fmt.Errorf("stburst: unknown pattern kind %d", kind)
+	return nil, fmt.Errorf("stburst: Mine needs a concrete pattern kind, got %v (use MineStore to mine every kind)", kind)
+}
+
+// MineStore mines all three pattern kinds in one pass over a single
+// shared worker pool — the vocabulary is fanned out once with a
+// (term, kind) work list instead of three sequential sweeps — and
+// returns a Store holding the three resulting indexes. Parallelism and
+// cancellation semantics match Mine; any worker count yields
+// bit-identical indexes. A nil opts mines with the paper's defaults on
+// one worker per CPU.
+func (c *Collection) MineStore(ctx context.Context, opts *MineOptions) (*Store, error) {
+	if opts == nil {
+		opts = &MineOptions{}
+	}
+	windows, combs, temporal, err := search.MineAllKindsParCtx(ctx, c.col,
+		opts.Regional.coreOptions(), opts.Combinatorial.coreOptions(), nil, opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	s := NewStore(c)
+	for _, ix := range []*PatternIndex{
+		{c: c, set: index.NewWindowSet(windows)},
+		{c: c, set: index.NewCombSet(combs)},
+		{c: c, set: index.NewTemporalSet(temporal)},
+	} {
+		if _, err := s.Swap(ix.PatternKind(), ix); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // PatternIndex is a cached, query-ready store of spatiotemporal patterns
@@ -136,6 +244,9 @@ type PatternIndex struct {
 
 	engOnce sync.Once
 	eng     *Engine
+
+	fpOnce sync.Once
+	fp     string
 }
 
 // MineAllRegional mines STLocal regional patterns for every term of the
@@ -175,8 +286,9 @@ func (c *Collection) MineAllTemporal(parallelism int) *PatternIndex {
 // "combinatorial" or "temporal".
 func (ix *PatternIndex) Kind() string { return ix.set.Kind().String() }
 
-// PatternKind returns the typed pattern kind the index stores.
-func (ix *PatternIndex) PatternKind() Kind { return Kind(ix.set.Kind()) }
+// PatternKind returns the typed pattern kind the index stores — always
+// a concrete kind, never KindAny.
+func (ix *PatternIndex) PatternKind() Kind { return kindOf(ix.set.Kind()) }
 
 // Terms returns every term holding at least one pattern, in ascending
 // interned-ID (i.e. first-seen) order.
@@ -235,8 +347,13 @@ func (ix *PatternIndex) TemporalBursts(term string) []TemporalInterval {
 // Fingerprint returns a hex SHA-256 digest over a canonical serialization
 // of the whole index. Equal fingerprints mean byte-identical pattern
 // content; the concurrency suite uses it to assert determinism across
-// worker counts and repeated runs.
-func (ix *PatternIndex) Fingerprint() string { return ix.set.Fingerprint() }
+// worker counts and repeated runs. The digest is computed on first use
+// and cached — the index is immutable, and serving paths (/v1/indexes,
+// /v1/stats) consult it on every poll.
+func (ix *PatternIndex) Fingerprint() string {
+	ix.fpOnce.Do(func() { ix.fp = ix.set.Fingerprint() })
+	return ix.fp
+}
 
 // Save serializes the index to w in the versioned binary snapshot format
 // (see DESIGN.md for the layout): the patterns of every term, the term
@@ -269,15 +386,26 @@ func LoadPatternIndex(r io.Reader, c *Collection) (*PatternIndex, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stburst: loading pattern index: %w", err)
 	}
-	set, err := snap.Remap(c.col.Dict().Lookup)
+	ix, err := attachSnapshot(snap, c)
 	if err != nil {
 		return nil, fmt.Errorf("stburst: loading pattern index: %w", err)
+	}
+	return ix, nil
+}
+
+// attachSnapshot re-interns a decoded snapshot into the collection's
+// dictionary and validates it against the collection's shape — the
+// shared back half of LoadPatternIndex and LoadStore.
+func attachSnapshot(snap *index.Snapshot, c *Collection) (*PatternIndex, error) {
+	set, err := snap.Remap(c.col.Dict().Lookup)
+	if err != nil {
+		return nil, err
 	}
 	// Vocabulary matching is not enough: a snapshot from a structurally
 	// different corpus (fewer streams, shorter timeline) would pass the
 	// checks above and panic later on the serving path.
 	if err := set.Validate(c.NumStreams(), c.Timeline()); err != nil {
-		return nil, fmt.Errorf("stburst: loading pattern index: snapshot does not fit the collection: %w", err)
+		return nil, fmt.Errorf("snapshot does not fit the collection: %w", err)
 	}
 	return &PatternIndex{c: c, set: set}, nil
 }
@@ -287,7 +415,7 @@ func LoadPatternIndex(r io.Reader, c *Collection) (*PatternIndex, error) {
 // re-mines the corpus. It is safe to call concurrently.
 func (ix *PatternIndex) Engine() *Engine {
 	ix.engOnce.Do(func() {
-		ix.eng = &Engine{c: ix.c, eng: search.BuildFromPatterns(ix.c.col, ix.set)}
+		ix.eng = &Engine{c: ix.c, eng: search.BuildFromPatterns(ix.c.col, ix.set), kind: ix.PatternKind()}
 	})
 	return ix.eng
 }

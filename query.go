@@ -26,7 +26,12 @@ func (ts Timespan) Overlaps(start, end int) bool {
 // this region, during this timeframe".
 //
 // Exactly one of Text (free text, tokenized with the collection's
-// pipeline) or Terms (pre-normalized query terms) must be set. Region and
+// pipeline) or Terms (pre-normalized query terms) must be set. Kind
+// selects which burstiness model answers: a concrete kind routes the
+// query to that pattern index, and KindAny (the zero value, so an
+// absent kind in JSON) makes Store.Query fan out to every resident
+// index and merge the hits; single-index surfaces (Engine.Run,
+// PatternIndex.Query) accept KindAny and their own kind only. Region and
 // Time restrict the hits to documents with a contributing pattern — a
 // pattern of some query term that overlaps the document — intersecting
 // the rectangle and/or timeframe: regional windows intersect through
@@ -39,6 +44,7 @@ func (ts Timespan) Overlaps(start, end int) bool {
 type Query struct {
 	Text     string    `json:"text,omitempty"`
 	Terms    []string  `json:"terms,omitempty"`
+	Kind     Kind      `json:"kind,omitempty"`
 	Region   *Rect     `json:"region,omitempty"`
 	Time     *Timespan `json:"time,omitempty"`
 	K        int       `json:"k,omitempty"`
@@ -68,6 +74,9 @@ func (q Query) Validate() error {
 		return fmt.Errorf("stburst: query needs Text or Terms")
 	case hasText && hasTerms:
 		return fmt.Errorf("stburst: query must set exactly one of Text or Terms")
+	}
+	if _, ok := q.Kind.patternKind(); !ok && q.Kind != KindAny {
+		return fmt.Errorf("stburst: query Kind %d is not a pattern kind", int(q.Kind))
 	}
 	if q.K < 0 || q.K > MaxK {
 		return fmt.Errorf("stburst: query K must be in [0, %d], got %d", MaxK, q.K)
@@ -111,9 +120,17 @@ type ResultPage struct {
 // queries are cancellable; a cancelled context returns ctx.Err(). A
 // query term absent from every pattern yields an empty page, not an
 // error. Plain Search(query, k) is a thin wrapper over Run.
+//
+// An Engine answers for one pattern kind: Query.Kind must be KindAny or
+// the engine's own kind. Asking a single-kind engine for a different
+// kind is a caller error, not an empty result — use Store.Query to
+// route across kinds.
 func (e *Engine) Run(ctx context.Context, q Query) (ResultPage, error) {
 	if err := q.Validate(); err != nil {
 		return ResultPage{}, err
+	}
+	if q.Kind != KindAny && q.Kind != e.kind {
+		return ResultPage{}, fmt.Errorf("stburst: query asks for %v patterns but the engine serves %v (route multi-kind queries through a Store)", q.Kind, e.kind)
 	}
 	sq := search.Query{K: q.k(), Offset: q.Offset, MinScore: q.MinScore}
 	if q.Region != nil {
@@ -142,7 +159,7 @@ func (e *Engine) Run(ctx context.Context, q Query) (ResultPage, error) {
 	hits := make([]Hit, len(page.Results))
 	for i, r := range page.Results {
 		d := e.c.Doc(r.Doc)
-		hits[i] = Hit{Doc: d, Score: r.Score, Stream: e.c.Stream(d.Stream).Name}
+		hits[i] = Hit{Doc: d, Score: r.Score, Stream: e.c.Stream(d.Stream).Name, Kind: e.kind}
 	}
 	return ResultPage{Hits: hits, More: page.More}, nil
 }

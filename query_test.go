@@ -491,6 +491,7 @@ func TestMineMatchesBatchMiners(t *testing.T) {
 
 func TestParseKind(t *testing.T) {
 	for name, want := range map[string]Kind{
+		"any":      KindAny,
 		"regional": KindRegional, "stlocal": KindRegional,
 		"combinatorial": KindCombinatorial, "stcomb": KindCombinatorial,
 		"temporal": KindTemporal, "tb": KindTemporal,
@@ -503,8 +504,19 @@ func TestParseKind(t *testing.T) {
 	if _, err := ParseKind("nope"); err == nil {
 		t.Error("ParseKind accepted an unknown name")
 	}
-	if KindRegional.String() != "regional" || KindCombinatorial.String() != "combinatorial" || KindTemporal.String() != "temporal" {
+	if KindAny.String() != "any" || KindRegional.String() != "regional" ||
+		KindCombinatorial.String() != "combinatorial" || KindTemporal.String() != "temporal" {
 		t.Error("Kind.String mismatch")
+	}
+	// KindAny is the zero value: an absent kind means "every resident
+	// index" on the Store surface.
+	var zero Kind
+	if zero != KindAny {
+		t.Error("zero Kind is not KindAny")
+	}
+	// Mine needs a concrete kind.
+	if _, err := twoBurstCollection(t).Mine(context.Background(), KindAny, nil); err == nil {
+		t.Error("Mine accepted KindAny")
 	}
 }
 

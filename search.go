@@ -8,11 +8,15 @@ import (
 )
 
 // Hit is one retrieved document with its aggregate score (Eq. 10 of the
-// paper: Σ_t relevance × burstiness).
+// paper: Σ_t relevance × burstiness). Kind attributes the hit to the
+// burstiness model that retrieved it — under a KindAny fan-out through
+// Store.Query, the same document can appear once per resident kind,
+// each appearance scored by that kind's patterns.
 type Hit struct {
 	Doc    Document
 	Score  float64
 	Stream string // name of the originating stream
+	Kind   Kind   // pattern kind that scored the hit
 }
 
 // Engine is a bursty-document search engine (§5 of the paper): it
@@ -23,8 +27,9 @@ type Hit struct {
 // score thresholds — go through Run, and Search remains the free-text
 // convenience wrapper.
 type Engine struct {
-	c   *Collection
-	eng *search.Engine
+	c    *Collection
+	eng  *search.Engine
+	kind Kind // the concrete pattern kind the engine serves
 }
 
 // NewRegionalEngine builds a search engine over STLocal regional

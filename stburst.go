@@ -190,11 +190,21 @@ func (c *Collection) AddTokens(streamIdx, time int, tokens []string) (int, error
 // snapshot mined from a corpus loads cleanly into any collection rebuilt
 // from that corpus with LoadCorpus (see LoadPatternIndex).
 func LoadCorpus(r io.Reader) (*Collection, error) {
-	col, _, err := corpusio.Load(r)
+	c, _, err := LoadCorpusLabeled(r)
+	return c, err
+}
+
+// LoadCorpusLabeled is LoadCorpus plus the per-document ground-truth
+// event labels the synthetic generator embeds (labels[docID] is the
+// event the document belongs to, 0 for background chatter; nil when the
+// corpus carries no labels). Evaluation tooling uses the labels to
+// check retrieved documents against the planted events.
+func LoadCorpusLabeled(r io.Reader) (*Collection, []int, error) {
+	col, labels, err := corpusio.Load(r)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return &Collection{col: col, tok: textproc.NewTokenizer()}, nil
+	return &Collection{col: col, tok: textproc.NewTokenizer()}, labels, nil
 }
 
 // NumDocs returns the number of documents added.

@@ -1,0 +1,311 @@
+package stburst
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"stburst/internal/index"
+)
+
+// ErrKindNotResident is returned (wrapped) by Store.Query when the query
+// names a concrete kind the store holds no index for, and by a KindAny
+// query against an empty store. The HTTP layer maps it to 404.
+var ErrKindNotResident = errors.New("stburst: pattern kind not resident in store")
+
+// Store holds up to one query-ready PatternIndex per concrete pattern
+// kind over a single shared Collection — the paper's three burstiness
+// models (regional, combinatorial, temporal) served side by side from
+// one process. Store.Query routes a Query to the index of its Kind, or
+// fans a KindAny query out to every resident index and merges the hits.
+//
+// The resident set lives behind one atomic pointer to an immutable
+// kind-indexed array, so indexes can be hot-swapped (Swap) or the whole
+// set replaced in a single atomic step (Replace) while any number of
+// queries run concurrently: a query observes either the old index or
+// the new one, never a torn mix, and never blocks behind a reload.
+type Store struct {
+	c       *Collection
+	indexes atomic.Pointer[[3]*PatternIndex] // slot k-1 holds the index of concrete kind k
+}
+
+// NewStore creates an empty store over the collection. Populate it with
+// Swap or Replace, or mine all kinds in one pass with
+// Collection.MineStore.
+func NewStore(c *Collection) *Store {
+	s := &Store{c: c}
+	s.indexes.Store(new([3]*PatternIndex))
+	return s
+}
+
+// Collection returns the collection the store's indexes are mined from.
+func (s *Store) Collection() *Collection { return s.c }
+
+// slot maps a concrete kind to its array slot.
+func slot(kind Kind) (int, error) {
+	if _, ok := kind.patternKind(); !ok {
+		return 0, fmt.Errorf("stburst: store slots hold concrete pattern kinds, not %v", kind)
+	}
+	return int(kind) - 1, nil
+}
+
+// checkResident validates an index against the slot it is headed for:
+// the kind must match the patterns the index actually stores, and the
+// index must be attached to the store's own collection — an index mined
+// from (or loaded against) a different collection would answer queries
+// with foreign document IDs.
+func (s *Store) checkResident(kind Kind, ix *PatternIndex) error {
+	if ix.PatternKind() != kind {
+		return fmt.Errorf("stburst: store slot %v cannot hold a %v index", kind, ix.PatternKind())
+	}
+	if ix.c != s.c {
+		return fmt.Errorf("stburst: %v index is attached to a different collection than the store", kind)
+	}
+	return nil
+}
+
+// Swap atomically installs ix as the resident index of the given
+// concrete kind and returns the index it replaced (nil when the slot
+// was empty). A nil ix removes the kind from the store. In-flight
+// queries keep the index they already resolved; new queries see the
+// replacement immediately.
+func (s *Store) Swap(kind Kind, ix *PatternIndex) (*PatternIndex, error) {
+	i, err := slot(kind)
+	if err != nil {
+		return nil, err
+	}
+	if ix != nil {
+		if err := s.checkResident(kind, ix); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		old := s.indexes.Load()
+		next := *old
+		next[i] = ix
+		if s.indexes.CompareAndSwap(old, &next) {
+			return old[i], nil
+		}
+	}
+}
+
+// Replace atomically replaces the whole resident set with the given
+// indexes — the reload primitive: a concurrent query sees either the
+// complete old set or the complete new set, never one kind from each.
+// Kinds absent from ixs become non-resident. Two indexes of the same
+// kind, a foreign-collection index, or a nil entry is an error, and on
+// any error the store is left untouched.
+func (s *Store) Replace(ixs ...*PatternIndex) error {
+	var next [3]*PatternIndex
+	for _, ix := range ixs {
+		if ix == nil {
+			return errors.New("stburst: Replace: nil index (omit the kind instead)")
+		}
+		kind := ix.PatternKind()
+		i, err := slot(kind)
+		if err != nil {
+			return err
+		}
+		if err := s.checkResident(kind, ix); err != nil {
+			return err
+		}
+		if next[i] != nil {
+			return fmt.Errorf("stburst: Replace: two %v indexes", kind)
+		}
+		next[i] = ix
+	}
+	s.indexes.Store(&next)
+	return nil
+}
+
+// Index returns the resident index of a concrete kind, or nil when the
+// kind is not resident (or kind is KindAny).
+func (s *Store) Index(kind Kind) *PatternIndex {
+	i, err := slot(kind)
+	if err != nil {
+		return nil
+	}
+	return s.indexes.Load()[i]
+}
+
+// Kinds returns the resident kinds in canonical (regional,
+// combinatorial, temporal) order.
+func (s *Store) Kinds() []Kind {
+	var kinds []Kind
+	for _, ix := range s.Resident() {
+		kinds = append(kinds, ix.PatternKind())
+	}
+	return kinds
+}
+
+// Resident returns the resident indexes in canonical kind order, all
+// taken from one atomic snapshot of the resident set — unlike a
+// Kinds()/Index() loop, the result can never interleave two
+// generations across a concurrent Swap or Replace.
+func (s *Store) Resident() []*PatternIndex {
+	resident := s.indexes.Load()
+	var out []*PatternIndex
+	for _, k := range Kinds() {
+		if ix := resident[int(k)-1]; ix != nil {
+			out = append(out, ix)
+		}
+	}
+	return out
+}
+
+// Query executes a structured query against the store. A concrete
+// Query.Kind routes to that kind's resident index (ErrKindNotResident,
+// wrapped, when the store holds none). KindAny — the zero Kind, so also
+// an absent "kind" in the JSON shape — fans out to every resident index
+// over one consistent atomic snapshot of the resident set and merges
+// the per-kind rankings into a single list ordered by descending score
+// (ties by document ID, then kind). Each hit carries the Kind that
+// scored it, and a document retrieved by several kinds appears once per
+// kind: the fan-out deliberately surfaces how the models rank the same
+// document differently rather than collapsing them.
+//
+// MinScore, Region and Time apply within each kind exactly as in
+// Engine.Run; Offset/K page the merged list. The page's More flag
+// reports whether hits exist beyond it in the merged ranking.
+func (s *Store) Query(ctx context.Context, q Query) (ResultPage, error) {
+	if err := q.Validate(); err != nil {
+		return ResultPage{}, err
+	}
+	if q.Kind != KindAny {
+		ix := s.Index(q.Kind)
+		if ix == nil {
+			return ResultPage{}, fmt.Errorf("%w: %v", ErrKindNotResident, q.Kind)
+		}
+		return ix.Query(ctx, q)
+	}
+
+	resident := s.indexes.Load() // one snapshot for the whole fan-out
+	// Each kind must contribute enough of its own ranking to fill the
+	// merged page: the first Offset+K merged hits can in the worst case
+	// all come from one kind. Fetch one beyond the page to learn whether
+	// more exist, capping at MaxK (which Validate guarantees each of
+	// Offset and K respects individually).
+	need := q.Offset + q.k() + 1
+	if need > MaxK {
+		need = MaxK
+	}
+	var merged []Hit
+	more := false
+	queried := false
+	for _, kind := range Kinds() {
+		ix := resident[int(kind)-1]
+		if ix == nil {
+			continue
+		}
+		queried = true
+		sub := q
+		sub.Kind = kind
+		sub.K = need
+		sub.Offset = 0
+		page, err := ix.Query(ctx, sub)
+		if err != nil {
+			return ResultPage{}, err
+		}
+		merged = append(merged, page.Hits...)
+		more = more || page.More
+	}
+	if !queried {
+		return ResultPage{}, fmt.Errorf("%w: store holds no indexes", ErrKindNotResident)
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		if merged[i].Score != merged[j].Score {
+			return merged[i].Score > merged[j].Score
+		}
+		if merged[i].Doc.ID != merged[j].Doc.ID {
+			return merged[i].Doc.ID < merged[j].Doc.ID
+		}
+		return merged[i].Kind < merged[j].Kind
+	})
+	if q.Offset >= len(merged) {
+		return ResultPage{More: false}, nil
+	}
+	end := q.Offset + q.k()
+	if end > len(merged) {
+		end = len(merged)
+	} else if end < len(merged) {
+		more = true
+	}
+	out := make([]Hit, end-q.Offset)
+	copy(out, merged[q.Offset:end])
+	return ResultPage{Hits: out, More: more}, nil
+}
+
+// residentSets returns the pattern sets of the resident indexes in
+// canonical kind order — the bundle member order.
+func (s *Store) residentSets() ([]*index.PatternSet, error) {
+	resident := s.indexes.Load()
+	var sets []*index.PatternSet
+	for _, k := range Kinds() {
+		if ix := resident[int(k)-1]; ix != nil {
+			sets = append(sets, ix.set)
+		}
+	}
+	if len(sets) == 0 {
+		return nil, errors.New("stburst: cannot save an empty store")
+	}
+	return sets, nil
+}
+
+// Save serializes every resident index into one versioned bundle: a
+// manifest listing each member's kind, byte length and canonical
+// fingerprint, followed by the members as ordinary snapshot streams and
+// a stream checksum over the whole file (see DESIGN.md for the layout).
+// LoadStore verifies all of it on the way back in. An empty store
+// cannot be saved.
+func (s *Store) Save(w io.Writer) error {
+	sets, err := s.residentSets()
+	if err != nil {
+		return err
+	}
+	return index.WriteBundle(w, sets, s.c.col.Dict().Term)
+}
+
+// SaveFile saves the store as a bundle file, atomically: the bundle is
+// written to a temp file in the destination directory and renamed over
+// the target, so an interrupted save never leaves a truncated file.
+func (s *Store) SaveFile(path string) error {
+	sets, err := s.residentSets()
+	if err != nil {
+		return err
+	}
+	return index.WriteBundleFile(path, sets, s.c.col.Dict().Term)
+}
+
+// LoadStore reads a store from r and attaches it to a collection
+// holding the same corpus. It accepts both on-disk formats: a bundle
+// written by Store.Save (every member index becomes resident) and a
+// plain single-index snapshot written by PatternIndex.Save (the store
+// holds that one kind), so a serving process boots from whichever
+// artifact the mining pipeline produced. Every member is integrity-
+// checked exactly as LoadPatternIndex would: stream checksums, the
+// canonical per-kind fingerprints (which must also match the bundle
+// manifest), vocabulary membership and structural fit against the
+// collection. Any failure is an error; no partially loaded store is
+// returned.
+func LoadStore(r io.Reader, c *Collection) (*Store, error) {
+	snaps, err := index.ReadStore(r)
+	if err != nil {
+		return nil, fmt.Errorf("stburst: loading store: %w", err)
+	}
+	ixs := make([]*PatternIndex, len(snaps))
+	for i, snap := range snaps {
+		ix, err := attachSnapshot(snap, c)
+		if err != nil {
+			return nil, fmt.Errorf("stburst: loading store: %v member: %w", kindOf(snap.Set.Kind()), err)
+		}
+		ixs[i] = ix
+	}
+	s := NewStore(c)
+	if err := s.Replace(ixs...); err != nil {
+		return nil, fmt.Errorf("stburst: loading store: %w", err)
+	}
+	return s, nil
+}
