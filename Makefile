@@ -17,14 +17,17 @@ CORPUS ?= corpus.jsonl
 SNAPSHOT ?= snapshot.stb
 BUNDLE ?= corpus.bundle
 ADDR ?= :8080
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 BENCH_TIME ?= 1s
 # The serving-path benchmarks: retrieval (plain, filtered, store-routed,
-# KindAny fan-out) and mining (per-kind batch, one-pass MineStore).
-BENCH_PATTERN ?= BenchmarkQuery|BenchmarkStoreQuery|BenchmarkMineAll|BenchmarkMineStore
-# The smoke subset skips the mining benchmarks (tens of seconds per
-# iteration); corpus setup still exercises the miners once.
-BENCH_SMOKE_PATTERN ?= BenchmarkQuery|BenchmarkStoreQuery
+# KindAny fan-out), mining (per-kind batch, one-pass MineStore), and the
+# live write path (incremental ingest vs the full re-mine it replaces).
+BENCH_PATTERN ?= BenchmarkQuery|BenchmarkStoreQuery|BenchmarkMineAll|BenchmarkMineStore|BenchmarkIngest
+# The smoke subset skips the corpus-wide mining benchmarks (tens of
+# seconds per iteration); the ingest pair stays in — its per-iteration
+# setup mines a small dedicated corpus, cheap enough for CI, and keeps
+# both write paths provably runnable.
+BENCH_SMOKE_PATTERN ?= BenchmarkQuery|BenchmarkStoreQuery|BenchmarkIngest
 
 # A failed stgen/stmine must not leave a truncated artifact that later
 # runs treat as up to date.
@@ -48,7 +51,7 @@ test-short: build
 
 race: build
 	$(GO) test -race -short ./...
-	$(GO) test -race -run 'TestMineAll|TestConcurrent|TestSearchAnswers|TestPatternIndex|TestLoaded' .
+	$(GO) test -race -run 'TestMineAll|TestConcurrent|TestSearchAnswers|TestPatternIndex|TestLoaded|TestIngest|TestAppend' .
 	$(GO) test -race ./cmd/stserve/
 
 bench: build

@@ -11,6 +11,7 @@ package stburst
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -247,6 +248,110 @@ func BenchmarkMineStore(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ingestBenchCollection builds a deterministic mid-sized corpus for the
+// live-ingestion benchmarks: enough vocabulary that a realistic arrival
+// batch dirties well under 5% of the terms, which is exactly the regime
+// where incremental re-mining should beat a full re-mine.
+func ingestBenchCollection(b *testing.B) *Collection {
+	b.Helper()
+	const streams, weeks, vocab = 12, 30, 600
+	infos := make([]StreamInfo, streams)
+	for i := range infos {
+		infos[i] = StreamInfo{Name: fmt.Sprintf("s%02d", i), Location: Point{X: float64(i % 4), Y: float64(i / 4)}}
+	}
+	c := NewCollection(infos, weeks)
+	rng := rand.New(rand.NewSource(7))
+	for w := 0; w < weeks; w++ {
+		for s := 0; s < streams; s++ {
+			for d := 0; d < 2; d++ {
+				toks := make([]string, 6)
+				for i := range toks {
+					toks[i] = fmt.Sprintf("term%04d", rng.Intn(vocab))
+				}
+				if _, err := c.AddTokens(s, w, toks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	return c
+}
+
+// ingestBenchBatch is the arrival batch: a handful of documents over a
+// small fixed vocabulary slice (a few existing terms plus new ones), so
+// the dirty set stays far below 5% of the corpus vocabulary.
+func ingestBenchBatch() []IncomingDocument {
+	docs := make([]IncomingDocument, 6)
+	for i := range docs {
+		docs[i] = IncomingDocument{
+			Stream: i % 12,
+			Time:   20 + i,
+			Tokens: []string{
+				fmt.Sprintf("term%04d", i),       // existing term goes dirty
+				fmt.Sprintf("breaking%02d", i%4), // new vocabulary
+				fmt.Sprintf("breaking%02d", i%4),
+				"alert",
+			},
+		}
+	}
+	return docs
+}
+
+// BenchmarkIngestIncremental measures the live write path: one Ingest
+// call — append, dirty-term re-mine across all three resident kinds,
+// engine warm-up and the atomic install — against a store freshly mined
+// outside the timed region.
+func BenchmarkIngestIncremental(b *testing.B) {
+	ctx := context.Background()
+	batch := ingestBenchBatch()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := ingestBenchCollection(b)
+		s, err := c.MineStore(ctx, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := s.Ingest(ctx, batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("batch dirties %d of %d terms (%.1f%%)",
+				res.DirtyTerms, len(c.Terms()), 100*float64(res.DirtyTerms)/float64(len(c.Terms())))
+		}
+	}
+}
+
+// BenchmarkIngestFullRemine is the cold path the incremental ingest
+// replaces: append the same batch, then re-mine the entire vocabulary
+// from scratch and warm the engines — what a pre-ingest deployment had
+// to do (stmine + reload) to fold new documents in.
+func BenchmarkIngestFullRemine(b *testing.B) {
+	ctx := context.Background()
+	batch := ingestBenchBatch()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := ingestBenchCollection(b)
+		if _, err := c.MineStore(ctx, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := c.Append(ctx, batch); err != nil {
+			b.Fatal(err)
+		}
+		s, err := c.MineStore(ctx, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, kind := range Kinds() {
+			s.Index(kind).Engine()
+		}
+	}
 }
 
 func BenchmarkTable1TopPatterns(b *testing.B) {

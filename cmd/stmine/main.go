@@ -267,7 +267,9 @@ func mineAllKinds(out, diag io.Writer, col *stream.Collection, k, parallel int, 
 			set.Kind(), set.NumTerms(), set.NumPatterns(), set.Fingerprint())
 	}
 	if bundlePath != "" {
-		if err := index.WriteBundleFile(bundlePath, sets, col.Dict().Term); err != nil {
+		// A freshly mined artifact starts the generation sequence at 0;
+		// live ingestion through stserve advances it from there.
+		if err := index.WriteBundleFile(bundlePath, sets, col.Dict().Term, 0); err != nil {
 			return err
 		}
 		fmt.Fprintf(diag, "stmine: bundle written to %s (3 members)\n", bundlePath)

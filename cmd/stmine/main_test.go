@@ -106,7 +106,7 @@ func TestMineAllKindsBundle(t *testing.T) {
 		t.Fatalf("bundle not written: %v", err)
 	}
 	defer f.Close()
-	snaps, err := index.ReadBundle(f)
+	snaps, _, err := index.ReadBundle(f)
 	if err != nil {
 		t.Fatalf("written bundle does not load: %v", err)
 	}

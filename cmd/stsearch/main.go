@@ -9,7 +9,8 @@
 // (stcomb), temporal (tb), or "any" — which mines all three kinds in one
 // pass, fans the query out to each, and merges the rankings, tagging
 // every hit with the kind that scored it. The older -engine flag remains
-// as a deprecated alias.
+// as a deprecated alias; when both are given, the explicit -kind wins
+// and a warning is printed to stderr.
 //
 // Usage:
 //
@@ -25,6 +26,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -33,70 +35,96 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// resolveKindName picks the effective kind name from the -kind/-engine
+// pair. The deprecated -engine alias only ever applies when -kind was
+// not given explicitly: an explicit -kind always wins — even an empty
+// one, which falls through to the default — and disagreeing flags earn
+// a warning instead of silently searching the wrong model.
+func resolveKindName(kindSet, engineSet bool, kindName, engineName string, stderr io.Writer) string {
+	switch {
+	case engineSet && !kindSet:
+		fmt.Fprintln(stderr, "stsearch: -engine is deprecated; use -kind")
+		return engineName
+	case engineSet && kindSet:
+		fmt.Fprintf(stderr, "stsearch: both -kind and -engine given; -engine is a deprecated alias, using -kind %q\n", kindName)
+	}
+	return kindName
+}
+
+// run is main with its environment injected, so the CLI tests can drive
+// it end to end. It returns the process exit code: 0 on success, 1 on
+// data errors, 2 on usage errors.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("stsearch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		kindName   = flag.String("kind", "", "pattern kind: regional/stlocal, combinatorial/stcomb, temporal/tb, or any (default regional)")
-		engineKind = flag.String("engine", "", "deprecated alias for -kind")
-		query      = flag.String("q", "", "query terms (required)")
-		k          = flag.Int("k", 10, "number of documents to retrieve")
-		offset     = flag.Int("offset", 0, "number of ranked documents to skip (pagination)")
-		minScore   = flag.Float64("min-score", 0, "drop documents scoring below this threshold")
-		region     = flag.String("region", "", "spatial filter minX,minY,maxX,maxY: hits need a contributing pattern intersecting it")
-		from       = flag.Int("from", -1, "first timestamp of the temporal filter (inclusive; -1 = unbounded)")
-		to         = flag.Int("to", -1, "last timestamp of the temporal filter (inclusive; -1 = unbounded)")
+		kindName   = fs.String("kind", "", "pattern kind: regional/stlocal, combinatorial/stcomb, temporal/tb, or any (default regional)")
+		engineKind = fs.String("engine", "", "deprecated alias for -kind (ignored when -kind is given)")
+		query      = fs.String("q", "", "query terms (required)")
+		k          = fs.Int("k", 10, "number of documents to retrieve")
+		offset     = fs.Int("offset", 0, "number of ranked documents to skip (pagination)")
+		minScore   = fs.Float64("min-score", 0, "drop documents scoring below this threshold")
+		region     = fs.String("region", "", "spatial filter minX,minY,maxX,maxY: hits need a contributing pattern intersecting it")
+		from       = fs.Int("from", -1, "first timestamp of the temporal filter (inclusive; -1 = unbounded)")
+		to         = fs.Int("to", -1, "last timestamp of the temporal filter (inclusive; -1 = unbounded)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *query == "" {
-		fmt.Fprintln(os.Stderr, "stsearch: -q is required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "stsearch: -q is required")
+		return 2
 	}
-	name := *kindName
-	if name == "" {
-		name = *engineKind
-	}
+	explicit := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	name := resolveKindName(explicit["kind"], explicit["engine"], *kindName, *engineKind, stderr)
 	if name == "" {
 		name = "regional"
 	}
 	kind, err := stburst.ParseKind(name)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "stsearch: -kind:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "stsearch: -kind:", err)
+		return 2
 	}
 
-	c, labels, err := stburst.LoadCorpusLabeled(os.Stdin)
+	c, labels, err := stburst.LoadCorpusLabeled(stdin)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "stsearch:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "stsearch:", err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "corpus: %d documents, %d streams, %d weeks\n",
+	fmt.Fprintf(stderr, "corpus: %d documents, %d streams, %d weeks\n",
 		c.NumDocs(), c.NumStreams(), c.Timeline())
 
 	start := time.Now()
 	var store *stburst.Store
 	if kind == stburst.KindAny {
 		if store, err = c.MineStore(context.Background(), nil); err != nil {
-			fmt.Fprintln(os.Stderr, "stsearch:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "stsearch:", err)
+			return 1
 		}
 	} else {
 		ix, err := c.Mine(context.Background(), kind, nil)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "stsearch:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "stsearch:", err)
+			return 1
 		}
 		store = stburst.NewStore(c)
 		if _, err := store.Swap(kind, ix); err != nil {
-			fmt.Fprintln(os.Stderr, "stsearch:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "stsearch:", err)
+			return 1
 		}
 	}
-	fmt.Fprintf(os.Stderr, "%s engine built in %v\n", kind, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stderr, "%s engine built in %v\n", kind, time.Since(start).Round(time.Millisecond))
 
 	q := stburst.Query{Text: *query, Kind: kind, K: *k, Offset: *offset, MinScore: *minScore}
 	if *region != "" {
 		r, err := geo.ParseRect(*region)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "stsearch: -region:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "stsearch: -region:", err)
+			return 2
 		}
 		q.Region = &r
 	}
@@ -114,8 +142,8 @@ func main() {
 			// valid empty range, matching stserve's ?from=&to= handling:
 			// degenerate it into a span that overlaps nothing.
 			if *to >= 0 {
-				fmt.Fprintf(os.Stderr, "stsearch: timespan [%d, %d] is inverted\n", span.Start, span.End)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "stsearch: timespan [%d, %d] is inverted\n", span.Start, span.End)
+				return 2
 			}
 			// -from is past the timeline (the only one-sided inversion:
 			// a lone -to can never undercut the default start of 0).
@@ -126,12 +154,12 @@ func main() {
 
 	page, err := store.Query(context.Background(), q)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "stsearch:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "stsearch:", err)
+		return 1
 	}
 	if len(page.Hits) == 0 {
-		fmt.Println("no bursty documents found for the query")
-		return
+		fmt.Fprintln(stdout, "no bursty documents found for the query")
+		return 0
 	}
 	for i, h := range page.Hits {
 		label := ""
@@ -142,10 +170,11 @@ func main() {
 		if kind == stburst.KindAny {
 			tag = fmt.Sprintf("  [%s]", h.Kind)
 		}
-		fmt.Printf("%2d. doc %-7d %-22s week %-3d score %.3f%s%s\n",
+		fmt.Fprintf(stdout, "%2d. doc %-7d %-22s week %-3d score %.3f%s%s\n",
 			*offset+i+1, h.Doc.ID, h.Stream, h.Doc.Time, h.Score, tag, label)
 	}
 	if page.More {
-		fmt.Printf("(more hits beyond this page: re-run with -offset %d)\n", *offset+len(page.Hits))
+		fmt.Fprintf(stdout, "(more hits beyond this page: re-run with -offset %d)\n", *offset+len(page.Hits))
 	}
+	return 0
 }

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// testCorpus is a minimal topix-format corpus: a quiet background plus a
+// localized "earthquake" burst in Peru at weeks 4-6, so the regional and
+// temporal miners disagree on nothing but produce patterns.
+func testCorpus() string {
+	var b strings.Builder
+	b.WriteString(`{"kind":"topix","streams":["Peru","Japan"],"timeline":10}` + "\n")
+	week := func(stream string, w int, counts string) {
+		b.WriteString(`{"stream":"` + stream + `","time":` + itoa(w) + `,"counts":{` + counts + `},"event":0}` + "\n")
+	}
+	for w := 0; w < 10; w++ {
+		week("Peru", w, `"politics":2,"weather":1`)
+		week("Japan", w, `"markets":2,"weather":1`)
+	}
+	for w := 4; w <= 6; w++ {
+		for i := 0; i < 4; i++ {
+			week("Peru", w, `"earthquake":3,"rescue":1`)
+		}
+	}
+	return b.String()
+}
+
+func itoa(v int) string {
+	return string(rune('0' + v))
+}
+
+// runSearch drives the CLI end to end and returns exit code, stdout and
+// stderr.
+func runSearch(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, strings.NewReader(testCorpus()), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestKindWinsOverEngineAlias is the regression test for the flag
+// precedence bug: with both -kind and -engine given, the explicit -kind
+// must select the engine — with a warning — instead of being silently
+// overridden by the deprecated alias.
+func TestKindWinsOverEngineAlias(t *testing.T) {
+	code, stdout, stderr := runSearch(t, "-kind", "regional", "-engine", "temporal", "-q", "earthquake")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "regional engine built") {
+		t.Errorf("-kind regional lost to -engine temporal; stderr:\n%s", stderr)
+	}
+	if strings.Contains(stderr, "temporal engine built") {
+		t.Errorf("deprecated -engine selected the engine; stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "deprecated") || !strings.Contains(stderr, "using -kind") {
+		t.Errorf("no precedence warning on stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "doc") {
+		t.Errorf("no hits printed:\n%s", stdout)
+	}
+}
+
+// TestEngineAliasAloneStillWorks: -engine without -kind keeps selecting
+// the model (compatibility), but now warns about the deprecation.
+func TestEngineAliasAloneStillWorks(t *testing.T) {
+	code, _, stderr := runSearch(t, "-engine", "temporal", "-q", "earthquake")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "temporal engine built") {
+		t.Errorf("-engine alone no longer selects the engine; stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "-engine is deprecated") {
+		t.Errorf("no deprecation warning on stderr:\n%s", stderr)
+	}
+}
+
+// TestKindDefaultsRegionalWithoutWarning: the plain path stays quiet.
+func TestKindDefaultsRegionalWithoutWarning(t *testing.T) {
+	code, _, stderr := runSearch(t, "-q", "earthquake")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "regional engine built") {
+		t.Errorf("default engine is not regional; stderr:\n%s", stderr)
+	}
+	if strings.Contains(stderr, "deprecated") {
+		t.Errorf("spurious deprecation warning:\n%s", stderr)
+	}
+}
+
+// TestUsageErrors: a missing query and an unknown kind are usage errors
+// (exit 2) before any corpus is read.
+func TestUsageErrors(t *testing.T) {
+	if code := run([]string{"-kind", "nope", "-q", "x"}, strings.NewReader(""), io.Discard, io.Discard); code != 2 {
+		t.Errorf("unknown kind: exit %d, want 2", code)
+	}
+	if code := run(nil, strings.NewReader(""), io.Discard, io.Discard); code != 2 {
+		t.Errorf("missing -q: exit %d, want 2", code)
+	}
+}

@@ -27,9 +27,19 @@
 //	                         none), filterable by ?kind= and
 //	                         ?region=minX,minY,maxX,maxY and ?from=&to=
 //	GET  /v1/indexes         the resident kinds with sizes and fingerprints
+//	POST /v1/documents       live batch ingest (requires -ingest): the body
+//	                         is {"documents": [{"stream": "Japan", "time":
+//	                         3, "text": "..."}, ...]}; documents are
+//	                         appended under traffic and only the dirty
+//	                         terms are re-mined, answered with 202 plus
+//	                         the new generation and dirty-term count
+//	GET  /v1/generation      the store generation — a counter every swap,
+//	                         reload and ingest advances, for cache-busting
 //	POST /v1/reload          atomically swap in freshly mined indexes from
-//	                         the -snapshot file, without pausing traffic
-//	GET  /v1/stats           index size, fingerprint, uptime, traffic counters
+//	                         the -snapshot file, without pausing traffic —
+//	                         the cold-path alternative to /v1/documents
+//	GET  /v1/stats           index size, fingerprint, generation, pending
+//	                         ingest depth, uptime, traffic counters
 //	GET  /v1/healthz         liveness probe
 //
 // The pre-/v1 routes (GET /healthz, /stats, /patterns/{term},
@@ -41,6 +51,17 @@
 // pass; -parallel the worker count) and writes the artifact there — a
 // bundle for "all", a snapshot otherwise — so the next boot skips mining
 // entirely.
+//
+// -ingest arms the write surface. Incoming documents buffer in a
+// batching ingester: -ingest-batch sets how many accumulate before a
+// flush (default 1: every request flushes synchronously and its response
+// reports the resulting generation), and -ingest-interval bounds how
+// long a trickle may sit buffered. Each flush appends the batch to the
+// in-memory collection and incrementally re-mines only the dirty terms,
+// hot-swapping the refreshed indexes under live queries. The -snapshot
+// file on disk is not rewritten by ingestion; POST /v1/reload therefore
+// reverts to the snapshot's indexes (the appended documents survive in
+// memory) until the process is restarted or the file is re-mined.
 //
 // stserve shuts down gracefully: SIGINT or SIGTERM stops accepting new
 // connections and drains in-flight requests before exiting.
@@ -62,11 +83,14 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		corpus   = flag.String("corpus", "", "JSONL corpus path (required)")
-		snapshot = flag.String("snapshot", "", "pattern snapshot or bundle path (loaded if present, written after mining otherwise)")
-		method   = flag.String("method", "stlocal", "miner when no snapshot exists: stlocal, stcomb, tb or all")
-		parallel = flag.Int("parallel", 0, "mining workers (<1 = one per CPU)")
+		addr           = flag.String("addr", ":8080", "listen address")
+		corpus         = flag.String("corpus", "", "JSONL corpus path (required)")
+		snapshot       = flag.String("snapshot", "", "pattern snapshot or bundle path (loaded if present, written after mining otherwise)")
+		method         = flag.String("method", "stlocal", "miner when no snapshot exists: stlocal, stcomb, tb or all")
+		parallel       = flag.Int("parallel", 0, "mining workers (<1 = one per CPU)")
+		ingest         = flag.Bool("ingest", false, "enable the POST /v1/documents write surface")
+		ingestBatch    = flag.Int("ingest-batch", 1, "buffer this many documents before an ingest flush (1 = flush every request)")
+		ingestInterval = flag.Duration("ingest-interval", 0, "flush buffered documents at least this often (0 = only on batch size)")
 	)
 	flag.Parse()
 	log.SetPrefix("stserve: ")
@@ -101,10 +125,36 @@ func main() {
 	}
 	log.Printf("search engines built in %v", time.Since(start).Round(time.Millisecond))
 
+	handler := newServer(c, store, *snapshot)
+	var ing *stburst.Ingester
+	if *ingest {
+		// Re-mine dirty terms with the same worker budget mining used;
+		// stores loaded from a snapshot have no recorded options, so set
+		// them explicitly either way.
+		store.SetMineOptions(stburst.NewMineOptions(stburst.WithParallelism(*parallel)))
+		opts := []stburst.IngesterOption{
+			stburst.WithFlushDocs(*ingestBatch),
+			stburst.WithOnFlush(func(res stburst.IngestResult, err error) {
+				if err != nil {
+					log.Printf("ingest flush failed: %v", err)
+					return
+				}
+				log.Printf("ingested %d docs: %d dirty terms re-mined, generation %d",
+					res.Docs, res.DirtyTerms, res.Generation)
+			}),
+		}
+		if *ingestInterval > 0 {
+			opts = append(opts, stburst.WithFlushInterval(*ingestInterval))
+		}
+		ing = stburst.NewIngester(store, opts...)
+		handler.enableIngest(ing)
+		log.Printf("live ingestion enabled (batch %d, interval %v)", *ingestBatch, *ingestInterval)
+	}
+
 	log.Printf("listening on %s", *addr)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newServer(c, store, *snapshot),
+		Handler: handler,
 		// Queries answer in microseconds; anything holding a connection
 		// for seconds is a stalled or malicious client, and a
 		// long-running service must not pin goroutines on them.
@@ -113,7 +163,15 @@ func main() {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
-	if err := serve(srv); err != nil {
+	err = serve(srv)
+	if ing != nil {
+		// Drain whatever the batcher still buffers: a rolling restart
+		// must not drop accepted documents.
+		if cerr := ing.Close(); cerr != nil {
+			log.Printf("closing ingester: %v", cerr)
+		}
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }

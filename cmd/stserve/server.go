@@ -33,7 +33,12 @@ import (
 //	                         combinatorial | temporal | any)
 //	GET  /v1/patterns/{term} stored patterns, filterable by ?kind=&region=&from=&to=
 //	GET  /v1/indexes         the resident kinds with their sizes and fingerprints
+//	POST /v1/documents       live batch ingest (requires -ingest): append
+//	                         documents and incrementally re-mine the dirty
+//	                         terms under traffic
+//	GET  /v1/generation      the store generation, for cache-busting
 //	POST /v1/reload          atomically reload the snapshot/bundle from disk
+//	                         (the cold-path alternative to /v1/documents)
 //	GET  /v1/stats           index and traffic statistics
 //	GET  /v1/healthz         liveness probe
 //
@@ -43,12 +48,23 @@ import (
 type server struct {
 	c     *stburst.Collection
 	store *stburst.Store
+	// ing is the batching front of the write surface; nil keeps the
+	// server read-only and POST /v1/documents answers 403 (the -ingest
+	// flag gates it).
+	ing *stburst.Ingester
+	// streamIdx resolves incoming documents' stream names. It is built
+	// from the collection's fixed stream list, never mutated.
+	streamIdx map[string]int
 	// snapshotPath is the file POST /v1/reload re-reads; empty disables
 	// the route (the server was started without -snapshot).
 	snapshotPath string
 	// reloadMu serializes reloads: the swap itself is atomic, but two
 	// interleaved file reads racing to Replace would make "which file
-	// won" arbitrary.
+	// won" arbitrary. A reload is the cold path — on an ingesting server
+	// it installs whatever the snapshot file holds, superseding any
+	// incremental refreshes since it was written (the appended documents
+	// themselves always survive: they live in the collection, and the
+	// next ingest re-mines from the current corpus).
 	reloadMu sync.Mutex
 	// points caches the stream locations for the combinatorial
 	// pattern-vs-region intersection checks.
@@ -57,22 +73,28 @@ type server struct {
 	requests atomic.Int64
 	searches atomic.Int64
 	reloads  atomic.Int64
+	ingests  atomic.Int64 // documents accepted through POST /v1/documents
 	mux      *http.ServeMux
 }
 
 // newServer wires the endpoint handlers. snapshotPath may be empty, in
-// which case POST /v1/reload is rejected.
+// which case POST /v1/reload is rejected. The write surface starts
+// disabled; enableIngest arms it.
 func newServer(c *stburst.Collection, store *stburst.Store, snapshotPath string) *server {
 	s := &server{c: c, store: store, snapshotPath: snapshotPath, started: time.Now(), mux: http.NewServeMux()}
 	s.points = make([]stburst.Point, c.NumStreams())
+	s.streamIdx = make(map[string]int, c.NumStreams())
 	for x := range s.points {
 		s.points[x] = c.Stream(x).Location
+		s.streamIdx[c.Stream(x).Name] = x
 	}
 	// The versioned contract.
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/generation", s.handleGeneration)
 	s.mux.HandleFunc("GET /v1/indexes", s.handleIndexes)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
+	s.mux.HandleFunc("POST /v1/documents", s.handleDocuments)
 	s.mux.HandleFunc("GET /v1/patterns/{term}", s.handlePatterns)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearchV1)
 	// Legacy aliases, kept verbatim for pre-/v1 clients.
@@ -82,6 +104,10 @@ func newServer(c *stburst.Collection, store *stburst.Store, snapshotPath string)
 	s.mux.HandleFunc("GET /search", s.handleSearchLegacy)
 	return s
 }
+
+// enableIngest arms the write surface with a batching ingester. Call
+// before serving traffic.
+func (s *server) enableIngest(ing *stburst.Ingester) { s.ing = ing }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
@@ -148,20 +174,32 @@ func (s *server) handleIndexes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"indexes": s.indexes()})
 }
 
+func (s *server) handleGeneration(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"generation": s.store.Generation()})
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// One snapshot of the resident set for the whole response: a reload
 	// landing mid-handler must not leave the legacy top-level fields
 	// describing a different index generation than the indexes array.
 	ixs := s.indexes()
+	pending := 0
+	if s.ing != nil {
+		pending = s.ing.Pending()
+	}
 	stats := map[string]any{
 		"indexes":        ixs,
 		"docs":           s.c.NumDocs(),
 		"streams":        s.c.NumStreams(),
 		"timeline":       s.c.Timeline(),
+		"generation":     s.store.Generation(),
+		"ingest_enabled": s.ing != nil,
+		"pending_ingest": pending,
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"requests":       s.requests.Load(),
 		"searches":       s.searches.Load(),
 		"reloads":        s.reloads.Load(),
+		"ingested_docs":  s.ingests.Load(),
 	}
 	// Legacy top-level fields describe the first resident index, which
 	// on a pre-store single-kind deployment is exactly the old payload.
@@ -216,6 +254,102 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 	s.reloads.Add(1)
 	log.Printf("reloaded %s: %d indexes", s.snapshotPath, len(ixs))
 	writeJSON(w, http.StatusOK, map[string]any{"reloaded": true, "indexes": s.indexes()})
+}
+
+// documentJSON is one incoming document of POST /v1/documents: a stream
+// name (as in the corpus header), a timestamp on the collection's
+// timeline, and the document text.
+type documentJSON struct {
+	Stream string `json:"stream"`
+	Time   int    `json:"time"`
+	Text   string `json:"text"`
+}
+
+// documentsRequest is the POST /v1/documents body.
+type documentsRequest struct {
+	Documents []documentJSON `json:"documents"`
+}
+
+// maxIngestBody caps a POST /v1/documents body. The write surface is
+// unauthenticated like the rest of /v1, and the decoder materializes
+// the whole batch in memory — without a ceiling one request could
+// demand gigabytes (the same concern MaxK addresses on the read side).
+// 8 MiB comfortably fits thousands of news-sized documents per request;
+// larger corpora arrive as multiple batches.
+const maxIngestBody = 8 << 20
+
+// handleDocuments answers POST /v1/documents, the live write surface:
+// the batch is validated, handed to the ingester, and acknowledged with
+// 202 Accepted. When the add flushed (the default ingester flushes every
+// request), the response carries the new store generation and the
+// batch's dirty-term count; when the batch is buffered for a later
+// size- or interval-driven flush, it reports the pending depth and the
+// still-current generation instead. Without -ingest the route answers
+// 403: the write surface is an operator opt-in on an otherwise
+// read-only, unauthenticated service.
+func (s *server) handleDocuments(w http.ResponseWriter, r *http.Request) {
+	if s.ing == nil {
+		writeError(w, http.StatusForbidden, "ingestion is disabled; start stserve with -ingest")
+		return
+	}
+	var req documentsRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("documents body exceeds %d bytes; split the batch", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "invalid documents body: "+err.Error())
+		return
+	}
+	if len(req.Documents) == 0 {
+		writeError(w, http.StatusBadRequest, "documents must be a non-empty array")
+		return
+	}
+	docs := make([]stburst.IncomingDocument, len(req.Documents))
+	for i, d := range req.Documents {
+		x, ok := s.streamIdx[d.Stream]
+		if !ok {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("document %d: unknown stream %q", i, d.Stream))
+			return
+		}
+		if d.Time < 0 || d.Time >= s.c.Timeline() {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("document %d: time %d outside the timeline [0, %d)", i, d.Time, s.c.Timeline()))
+			return
+		}
+		docs[i] = stburst.IncomingDocument{Stream: x, Time: d.Time, Text: d.Text}
+	}
+
+	// An add that triggers a flush re-mines the dirty terms and warms
+	// fresh engines; on a large corpus that can outlive the query-sized
+	// WriteTimeout, which would kill the connection before the response.
+	// Lift the deadline for this request only, as the reload path does.
+	if err := http.NewResponseController(w).SetWriteDeadline(time.Time{}); err != nil {
+		log.Printf("ingest: clearing write deadline: %v", err)
+	}
+	res, err := s.ing.Add(docs...)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "ingest: "+err.Error())
+		return
+	}
+	s.ingests.Add(int64(len(docs)))
+	body := map[string]any{
+		"accepted": len(docs),
+		"pending":  s.ing.Pending(),
+	}
+	if res != nil {
+		body["flushed"] = true
+		body["generation"] = res.Generation
+		body["dirty_terms"] = res.DirtyTerms
+	} else {
+		body["flushed"] = false
+		body["generation"] = s.store.Generation()
+	}
+	writeJSON(w, http.StatusAccepted, body)
 }
 
 // streamNames resolves stream indices to their names for human-readable

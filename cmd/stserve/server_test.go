@@ -697,3 +697,196 @@ func TestServerReloadErrors(t *testing.T) {
 		t.Errorf("indexes after failed reload = %d %v, want the original single index", code, body)
 	}
 }
+
+// ingestServer builds an ingest-enabled server over a full three-kind
+// store, mirroring `stserve -ingest`.
+func ingestServer(t *testing.T, flushDocs int) (*stburst.Collection, *stburst.Store, *server, *stburst.Ingester) {
+	t.Helper()
+	c := serveCollection(t)
+	store, err := c.MineStore(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(c, store, "")
+	ing := stburst.NewIngester(store, stburst.WithFlushDocs(flushDocs))
+	t.Cleanup(func() { ing.Close() })
+	s.enableIngest(ing)
+	return c, store, s, ing
+}
+
+// TestServerDocumentsDisabled: without -ingest the write surface is
+// sealed with 403, and nothing about the store changes.
+func TestServerDocumentsDisabled(t *testing.T) {
+	c := serveCollection(t)
+	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
+	docs := c.NumDocs()
+	code, body := postJSON(t, s, "/v1/documents",
+		`{"documents":[{"stream":"lima","time":3,"text":"volcano erupts"}]}`)
+	if code != http.StatusForbidden {
+		t.Fatalf("POST /v1/documents without -ingest = %d %v, want 403", code, body)
+	}
+	if c.NumDocs() != docs {
+		t.Error("rejected ingest still appended documents")
+	}
+}
+
+// TestServerDocumentsIngest: a flushed batch answers 202 with the new
+// generation and dirty-term count, and the refreshed indexes serve the
+// new documents immediately.
+func TestServerDocumentsIngest(t *testing.T) {
+	c, store, s, _ := ingestServer(t, 1)
+	gen0 := store.Generation()
+	docs0 := c.NumDocs()
+
+	code, body := postJSON(t, s, "/v1/documents",
+		`{"documents":[
+			{"stream":"tokyo","time":9,"text":"volcano eruption ash volcano"},
+			{"stream":"lima","time":10,"text":"volcano ash cloud spreads"}
+		]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/documents = %d %v, want 202", code, body)
+	}
+	if body["flushed"] != true || int(body["accepted"].(float64)) != 2 || int(body["pending"].(float64)) != 0 {
+		t.Errorf("ingest response %v, want flushed=true accepted=2 pending=0", body)
+	}
+	if int(body["dirty_terms"].(float64)) == 0 {
+		t.Errorf("ingest response %v reports no dirty terms", body)
+	}
+	if gen := uint64(body["generation"].(float64)); gen <= gen0 {
+		t.Errorf("ingest generation %d did not advance past %d", gen, gen0)
+	}
+	if c.NumDocs() != docs0+2 {
+		t.Errorf("collection holds %d docs, want %d", c.NumDocs(), docs0+2)
+	}
+
+	// The new term is immediately searchable and its patterns listable.
+	code, body = postJSON(t, s, "/v1/search", `{"text": "volcano", "k": 10}`)
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/search after ingest = %d %v", code, body)
+	}
+	if int(body["count"].(float64)) == 0 {
+		t.Error("ingested term retrieves nothing")
+	}
+
+	// /v1/generation and /v1/stats report the new state.
+	code, body = get(t, s, "/v1/generation")
+	if code != http.StatusOK || uint64(body["generation"].(float64)) != store.Generation() {
+		t.Errorf("GET /v1/generation = %d %v, want store generation %d", code, body, store.Generation())
+	}
+	code, body = get(t, s, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/stats = %d", code)
+	}
+	if body["ingest_enabled"] != true || int(body["pending_ingest"].(float64)) != 0 {
+		t.Errorf("stats %v, want ingest_enabled=true pending_ingest=0", body)
+	}
+	if int(body["ingested_docs"].(float64)) != 2 {
+		t.Errorf("stats ingested_docs %v, want 2", body["ingested_docs"])
+	}
+	if uint64(body["generation"].(float64)) != store.Generation() {
+		t.Errorf("stats generation %v, want %d", body["generation"], store.Generation())
+	}
+}
+
+// TestServerDocumentsBuffered: below the flush size the batch is
+// buffered — 202 with flushed=false, pending depth, and the old
+// generation — and a later request tips it over.
+func TestServerDocumentsBuffered(t *testing.T) {
+	c, store, s, _ := ingestServer(t, 3)
+	gen0 := store.Generation()
+	docs0 := c.NumDocs()
+
+	code, body := postJSON(t, s, "/v1/documents",
+		`{"documents":[{"stream":"quito","time":8,"text":"flood waters rising"}]}`)
+	if code != http.StatusAccepted || body["flushed"] != false {
+		t.Fatalf("buffered ingest = %d %v, want 202 flushed=false", code, body)
+	}
+	if int(body["pending"].(float64)) != 1 || uint64(body["generation"].(float64)) != gen0 {
+		t.Errorf("buffered response %v, want pending=1 generation=%d", body, gen0)
+	}
+	if c.NumDocs() != docs0 {
+		t.Error("buffered documents were applied early")
+	}
+
+	code, body = postJSON(t, s, "/v1/documents",
+		`{"documents":[
+			{"stream":"quito","time":9,"text":"flood rescue boats"},
+			{"stream":"lima","time":9,"text":"flood warnings coast"}
+		]}`)
+	if code != http.StatusAccepted || body["flushed"] != true {
+		t.Fatalf("tipping ingest = %d %v, want 202 flushed=true", code, body)
+	}
+	if int(body["pending"].(float64)) != 0 || c.NumDocs() != docs0+3 {
+		t.Errorf("after flush: pending %v, %d docs (want 0, %d)", body["pending"], c.NumDocs(), docs0+3)
+	}
+}
+
+// TestServerDocumentsValidation: bad bodies, unknown streams and
+// out-of-range times are 400s and nothing is applied or buffered.
+func TestServerDocumentsValidation(t *testing.T) {
+	c, _, s, ing := ingestServer(t, 10)
+	docs0 := c.NumDocs()
+	for name, body := range map[string]string{
+		"not json":        `{"documents": nope}`,
+		"unknown field":   `{"documents":[],"mode":"fast"}`,
+		"empty batch":     `{"documents":[]}`,
+		"no batch":        `{}`,
+		"unknown stream":  `{"documents":[{"stream":"atlantis","time":3,"text":"x"}]}`,
+		"negative time":   `{"documents":[{"stream":"lima","time":-1,"text":"x"}]}`,
+		"time past end":   `{"documents":[{"stream":"lima","time":12,"text":"x"}]}`,
+		"mixed good, bad": `{"documents":[{"stream":"lima","time":3,"text":"ok"},{"stream":"lima","time":99,"text":"x"}]}`,
+	} {
+		code, resp := postJSON(t, s, "/v1/documents", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: POST /v1/documents = %d %v, want 400", name, code, resp)
+		}
+	}
+	if c.NumDocs() != docs0 || ing.Pending() != 0 {
+		t.Errorf("rejected batches left state behind: %d docs, %d pending", c.NumDocs()-docs0, ing.Pending())
+	}
+}
+
+// TestServerIngestUnderQueryHammer: POSTs to /v1/documents proceed while
+// searches hammer every kind — the HTTP-level ingest-vs-query drill; run
+// it under -race for the full effect.
+func TestServerIngestUnderQueryHammer(t *testing.T) {
+	_, store, s, _ := ingestServer(t, 1)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if code, body := postJSON(t, s, "/v1/search", `{"text":"earthquake","k":10}`); code != http.StatusOK {
+					t.Errorf("search during ingest = %d %v", code, body)
+					return
+				}
+				if code, _ := get(t, s, "/v1/generation"); code != http.StatusOK {
+					t.Error("generation poll failed")
+					return
+				}
+			}
+		}()
+	}
+	lastGen := store.Generation()
+	for i := 0; i < 8; i++ {
+		code, body := postJSON(t, s, "/v1/documents",
+			`{"documents":[{"stream":"tokyo","time":11,"text":"earthquake wave alert"}]}`)
+		if code != http.StatusAccepted {
+			t.Fatalf("ingest %d = %d %v", i, code, body)
+		}
+		gen := uint64(body["generation"].(float64))
+		if gen <= lastGen {
+			t.Fatalf("ingest %d: generation %d did not advance past %d", i, gen, lastGen)
+		}
+		lastGen = gen
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -132,13 +132,45 @@
 // whole new set in a single atomic step, and queries in flight keep the
 // set they resolved.
 //
+// # Live ingestion
+//
+// The paper's corpus is a continuously arriving stream, so a mined
+// store is not the end of the story: Collection.Append publishes
+// freshly arrived documents atomically under any number of concurrent
+// readers and reports the dirty terms — the ones whose patterns went
+// stale — and Store.Ingest builds the whole write path from it: append
+// the batch, re-mine only the dirty terms per resident kind (per-term
+// mining depends only on that term's own streams, so the refreshed
+// indexes are bit-identical to a from-scratch MineStore over the
+// appended corpus), warm the engines, and install the refreshed set
+// with the same atomic Replace a reload uses:
+//
+//	res, err := store.Ingest(ctx, []stburst.IncomingDocument{
+//	    {Stream: 0, Time: 18, Text: "aftershocks rattle the coast"},
+//	})
+//	// res.Generation: cache-busting token; res.DirtyTerms: re-mined terms
+//
+// Every store mutation (Swap, Replace, Ingest) advances the
+// monotonically increasing Store.Generation, which bundles persist and
+// LoadStore restores, so clients can cache-bust across restarts. For a
+// live trickle, an Ingester amortizes the per-batch re-mine over a
+// flush size and/or interval:
+//
+//	ing := stburst.NewIngester(store,
+//	    stburst.WithFlushDocs(64),
+//	    stburst.WithFlushInterval(2*time.Second))
+//	defer ing.Close() // flushes what is left
+//	ing.Add(stburst.IncomingDocument{Stream: 1, Time: 18, Text: "..."})
+//
 // The CLI pipeline mirrors the API: stgen generates a corpus,
 // stmine -all -method all -o mines it into a bundle, and stserve loads
 // the bundle and serves the versioned /v1 JSON API — POST /v1/search
 // (the Query JSON shape, including "kind"), GET /v1/patterns/{term}
-// with kind/region/from/to filters, GET /v1/indexes, POST /v1/reload
-// (atomic snapshot reload), /v1/stats and /v1/healthz — plus the legacy
-// unversioned aliases, off the immutable indexes.
+// with kind/region/from/to filters, GET /v1/indexes, POST /v1/documents
+// (live batch ingest, behind the -ingest flag) with GET /v1/generation
+// for cache-busting, POST /v1/reload (atomic snapshot reload — now the
+// cold-path alternative to live ingestion), /v1/stats and /v1/healthz —
+// plus the legacy unversioned aliases, off the immutable indexes.
 //
 // See README.md for the CLI tour, the examples directory for runnable
 // end-to-end programs, and DESIGN.md for the system inventory, the

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"sort"
 
 	"stburst/internal/gen"
 	"stburst/internal/geo"
@@ -81,20 +80,14 @@ func Load(r io.Reader) (*stream.Collection, []int, error) {
 		if !ok {
 			return nil, nil, fmt.Errorf("corpusio: document from unknown stream %q", d.Stream)
 		}
-		// Intern each document's terms in sorted order: map iteration is
-		// randomized per process, and snapshot portability (plus stable
-		// cross-process index fingerprints) needs every load of a corpus
-		// to assign identical dictionary IDs.
-		terms := make([]string, 0, len(d.Counts))
-		for t := range d.Counts {
-			terms = append(terms, t)
-		}
-		sort.Strings(terms)
-		counts := make(map[int]int, len(d.Counts))
-		for _, t := range terms {
-			counts[col.Dict().ID(t)] = d.Counts[t]
-		}
-		if _, err := col.AddCounts(x, d.Time, counts); err != nil {
+		// AddStringCounts interns each document's terms in sorted order:
+		// map iteration is randomized per process, and snapshot
+		// portability (plus stable cross-process index fingerprints)
+		// needs every load of a corpus to assign identical dictionary
+		// IDs. Collection.Append interns post-load batches the same way,
+		// so a corpus replayed as load-then-append still assigns the
+		// loaded prefix identically.
+		if _, err := col.AddStringCounts(x, d.Time, d.Counts); err != nil {
 			return nil, nil, err
 		}
 		labels = append(labels, d.Event)

@@ -14,9 +14,12 @@ import (
 
 // Bundle binary format (".bundle", little-endian throughout):
 //
-//	magic    [8]byte  "STBBNDL\x00"
-//	version  uint32   currently 1
-//	count    uint32   number of member snapshots (1..3)
+//	magic      [8]byte  "STBBNDL\x00"
+//	version    uint32   currently 2
+//	count      uint32   number of member snapshots (1..3)
+//	generation uint64   store generation the bundle was saved at
+//	                    (version ≥ 2 only; a version-1 stream has no
+//	                    generation field and reads as generation 0)
 //	then, for each member, one manifest entry:
 //	  kind        uint32   PatternKind; entries in strictly ascending order
 //	  length      uint64   byte length of the member's snapshot stream
@@ -37,9 +40,13 @@ import (
 // bundleMagic identifies a pattern-index bundle stream.
 const bundleMagic = "STBBNDL\x00"
 
-// BundleVersion is the codec version written by WriteBundle and the only
-// version ReadBundle accepts.
-const BundleVersion = 1
+// BundleVersion is the codec version written by WriteBundle. ReadBundle
+// also accepts the previous version 1 (the pre-generation format),
+// decoding it as generation 0.
+const BundleVersion = 2
+
+// minBundleVersion is the oldest codec version ReadBundle accepts.
+const minBundleVersion = 1
 
 // maxBundleMembers bounds the member count: one slot per pattern kind.
 const maxBundleMembers = 3
@@ -49,10 +56,24 @@ const maxBundleMembers = 3
 // checksum over the whole file. Sets must be non-empty, hold distinct
 // kinds, and be ordered by ascending kind (the canonical regional,
 // combinatorial, temporal order); term resolves interned IDs to strings
-// as in WriteSnapshot.
-func WriteBundle(w io.Writer, sets []*PatternSet, term func(id int) string) error {
+// as in WriteSnapshot. gen is the store generation recorded in the v2
+// header (and in each member snapshot), the live-ingestion cache-busting
+// token ReadBundle hands back; pass 0 for a freshly mined artifact.
+func WriteBundle(w io.Writer, sets []*PatternSet, term func(id int) string, gen uint64) error {
+	return writeBundleVersion(w, sets, term, gen, BundleVersion)
+}
+
+// writeBundleVersion writes the bundle at a specific codec version.
+// Version 1 — kept so the cross-version tests can produce genuine legacy
+// streams — has no generation field (gen is ignored) and version-1
+// member snapshots.
+func writeBundleVersion(w io.Writer, sets []*PatternSet, term func(id int) string, gen uint64, version uint32) error {
 	if len(sets) == 0 || len(sets) > maxBundleMembers {
 		return fmt.Errorf("index: bundle needs 1..%d member sets, got %d", maxBundleMembers, len(sets))
+	}
+	memberVersion := version
+	if memberVersion > SnapshotVersion {
+		memberVersion = SnapshotVersion
 	}
 	members := make([]*bytes.Buffer, len(sets))
 	for i, s := range sets {
@@ -61,7 +82,7 @@ func WriteBundle(w io.Writer, sets []*PatternSet, term func(id int) string) erro
 				sets[i-1].Kind(), s.Kind())
 		}
 		members[i] = &bytes.Buffer{}
-		if err := WriteSnapshot(members[i], s, term); err != nil {
+		if err := writeSnapshotVersion(members[i], s, term, gen, memberVersion); err != nil {
 			return fmt.Errorf("index: encoding bundle member %v: %w", s.Kind(), err)
 		}
 	}
@@ -73,13 +94,19 @@ func WriteBundle(w io.Writer, sets []*PatternSet, term func(id int) string) erro
 	if _, err := out.Write([]byte(bundleMagic)); err != nil {
 		return fmt.Errorf("index: writing bundle: %w", err)
 	}
-	binary.LittleEndian.PutUint32(buf[:4], BundleVersion)
+	binary.LittleEndian.PutUint32(buf[:4], version)
 	if _, err := out.Write(buf[:4]); err != nil {
 		return fmt.Errorf("index: writing bundle: %w", err)
 	}
 	binary.LittleEndian.PutUint32(buf[:4], uint32(len(sets)))
 	if _, err := out.Write(buf[:4]); err != nil {
 		return fmt.Errorf("index: writing bundle: %w", err)
+	}
+	if version >= 2 {
+		binary.LittleEndian.PutUint64(buf[:8], gen)
+		if _, err := out.Write(buf[:8]); err != nil {
+			return fmt.Errorf("index: writing bundle: %w", err)
+		}
 	}
 	for i, s := range sets {
 		binary.LittleEndian.PutUint32(buf[:4], uint32(s.Kind()))
@@ -126,15 +153,17 @@ type bundleManifestEntry struct {
 // its declared length, kind and manifest fingerprint, the trailing
 // stream checksum must match, and no bytes may follow it. Truncated or
 // corrupted input — including a tampered manifest — yields an error,
-// never a silently damaged store.
-func ReadBundle(r io.Reader) ([]*Snapshot, error) {
+// never a silently damaged store. The returned generation is the store
+// generation recorded in the v2 header; a version-1 bundle predates
+// generations and reads as generation 0.
+func ReadBundle(r io.Reader) ([]*Snapshot, uint64, error) {
 	h := sha256.New()
 	tr := io.TeeReader(r, h)
-	fail := func(err error) ([]*Snapshot, error) {
+	fail := func(err error) ([]*Snapshot, uint64, error) {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, fmt.Errorf("index: reading bundle: %w", err)
+		return nil, 0, fmt.Errorf("index: reading bundle: %w", err)
 	}
 
 	var head [16]byte
@@ -142,14 +171,23 @@ func ReadBundle(r io.Reader) ([]*Snapshot, error) {
 		return fail(err)
 	}
 	if string(head[:8]) != bundleMagic {
-		return nil, fmt.Errorf("index: not a pattern-index bundle (bad magic %q)", head[:8])
+		return nil, 0, fmt.Errorf("index: not a pattern-index bundle (bad magic %q)", head[:8])
 	}
-	if v := binary.LittleEndian.Uint32(head[8:12]); v != BundleVersion {
-		return nil, fmt.Errorf("index: unsupported bundle version %d (want %d)", v, BundleVersion)
+	version := binary.LittleEndian.Uint32(head[8:12])
+	if version < minBundleVersion || version > BundleVersion {
+		return nil, 0, fmt.Errorf("index: unsupported bundle version %d (want %d..%d)", version, minBundleVersion, BundleVersion)
 	}
 	count := binary.LittleEndian.Uint32(head[12:16])
 	if count == 0 || count > maxBundleMembers {
-		return nil, fmt.Errorf("index: bundle member count %d outside [1, %d]", count, maxBundleMembers)
+		return nil, 0, fmt.Errorf("index: bundle member count %d outside [1, %d]", count, maxBundleMembers)
+	}
+	var generation uint64
+	if version >= 2 {
+		var g [8]byte
+		if _, err := io.ReadFull(tr, g[:]); err != nil {
+			return fail(err)
+		}
+		generation = binary.LittleEndian.Uint64(g[:])
 	}
 
 	manifest := make([]bundleManifestEntry, count)
@@ -160,10 +198,10 @@ func ReadBundle(r io.Reader) ([]*Snapshot, error) {
 		}
 		kind := PatternKind(binary.LittleEndian.Uint32(entry[:4]))
 		if kind != KindRegional && kind != KindCombinatorial && kind != KindTemporal {
-			return nil, fmt.Errorf("index: bundle manifest names unknown pattern kind %d", kind)
+			return nil, 0, fmt.Errorf("index: bundle manifest names unknown pattern kind %d", kind)
 		}
 		if i > 0 && manifest[i-1].kind >= kind {
-			return nil, fmt.Errorf("index: bundle manifest kinds not strictly ascending (%v after %v)",
+			return nil, 0, fmt.Errorf("index: bundle manifest kinds not strictly ascending (%v after %v)",
 				kind, manifest[i-1].kind)
 		}
 		manifest[i].kind = kind
@@ -175,13 +213,13 @@ func ReadBundle(r io.Reader) ([]*Snapshot, error) {
 	for i, entry := range manifest {
 		snap, err := ReadSnapshot(io.LimitReader(tr, int64(entry.length)))
 		if err != nil {
-			return nil, fmt.Errorf("index: reading bundle %v member: %w", entry.kind, err)
+			return nil, 0, fmt.Errorf("index: reading bundle %v member: %w", entry.kind, err)
 		}
 		if got := snap.Set.Kind(); got != entry.kind {
-			return nil, fmt.Errorf("index: bundle %v member actually holds %v patterns", entry.kind, got)
+			return nil, 0, fmt.Errorf("index: bundle %v member actually holds %v patterns", entry.kind, got)
 		}
 		if got := snap.Set.Fingerprint(); got != hex.EncodeToString(entry.fingerprint[:]) {
-			return nil, fmt.Errorf("index: bundle %v member fingerprint %.12s... does not match manifest %.12s...",
+			return nil, 0, fmt.Errorf("index: bundle %v member fingerprint %.12s... does not match manifest %.12s...",
 				entry.kind, got, hex.EncodeToString(entry.fingerprint[:]))
 		}
 		snaps[i] = snap
@@ -193,26 +231,26 @@ func ReadBundle(r io.Reader) ([]*Snapshot, error) {
 		return fail(err)
 	}
 	if !bytes.Equal(sum, stored[:]) {
-		return nil, fmt.Errorf("index: bundle corrupted: stream checksum mismatch")
+		return nil, 0, fmt.Errorf("index: bundle corrupted: stream checksum mismatch")
 	}
 	var trailing [1]byte
 	if _, err := io.ReadFull(r, trailing[:]); err != io.EOF {
-		return nil, fmt.Errorf("index: bundle has trailing data after checksum footer")
+		return nil, 0, fmt.Errorf("index: bundle has trailing data after checksum footer")
 	}
-	return snaps, nil
+	return snaps, generation, nil
 }
 
 // WriteBundleFile saves a bundle atomically: it writes to a temp file in
 // the destination directory and renames over the target, so a crash or
 // full disk mid-save never leaves a truncated bundle for the next boot
 // to trip over.
-func WriteBundleFile(path string, sets []*PatternSet, term func(id int) string) error {
+func WriteBundleFile(path string, sets []*PatternSet, term func(id int) string, gen uint64) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".bundle-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if err := WriteBundle(tmp, sets, term); err != nil {
+	if err := WriteBundle(tmp, sets, term, gen); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -231,15 +269,18 @@ func WriteBundleFile(path string, sets []*PatternSet, term func(id int) string) 
 // ReadStore decodes either on-disk store artifact: a multi-member
 // bundle (ReadBundle) or a bare single-index snapshot (ReadSnapshot),
 // sniffed by magic. It is the boot-time entry point that lets a serving
-// process accept whichever file the mining pipeline produced.
-func ReadStore(r io.Reader) ([]*Snapshot, error) {
+// process accept whichever file the mining pipeline produced. The
+// returned generation is the artifact's recorded store generation (the
+// bundle header's for a bundle, the snapshot's own for a bare snapshot;
+// 0 for any version-1 stream).
+func ReadStore(r io.Reader) ([]*Snapshot, uint64, error) {
 	br := bufio.NewReader(r)
 	magic, err := br.Peek(8)
 	if err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("index: input too short to be a snapshot or bundle")
+			return nil, 0, fmt.Errorf("index: input too short to be a snapshot or bundle")
 		}
-		return nil, fmt.Errorf("index: reading store: %w", err)
+		return nil, 0, fmt.Errorf("index: reading store: %w", err)
 	}
 	switch string(magic) {
 	case bundleMagic:
@@ -247,9 +288,9 @@ func ReadStore(r io.Reader) ([]*Snapshot, error) {
 	case snapshotMagic:
 		snap, err := ReadSnapshot(br)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return []*Snapshot{snap}, nil
+		return []*Snapshot{snap}, snap.Generation, nil
 	}
-	return nil, fmt.Errorf("index: not a pattern-index snapshot or bundle (bad magic %q)", magic)
+	return nil, 0, fmt.Errorf("index: not a pattern-index snapshot or bundle (bad magic %q)", magic)
 }

@@ -17,7 +17,7 @@ func orderedSets() []*PatternSet {
 func writeBundleBytes(t *testing.T, sets []*PatternSet) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := WriteBundle(&buf, sets, snapshotTerm); err != nil {
+	if err := WriteBundle(&buf, sets, snapshotTerm, 7); err != nil {
 		t.Fatalf("WriteBundle: %v", err)
 	}
 	return buf.Bytes()
@@ -34,9 +34,12 @@ func TestBundleRoundTrip(t *testing.T) {
 		{all[1], all[2]},
 	} {
 		full := writeBundleBytes(t, sets)
-		snaps, err := ReadBundle(bytes.NewReader(full))
+		snaps, gen, err := ReadBundle(bytes.NewReader(full))
 		if err != nil {
 			t.Fatalf("ReadBundle(%d members): %v", len(sets), err)
+		}
+		if gen != 7 {
+			t.Errorf("decoded generation %d, want the written 7", gen)
 		}
 		if len(snaps) != len(sets) {
 			t.Fatalf("decoded %d members, want %d", len(snaps), len(sets))
@@ -62,16 +65,16 @@ func TestBundleRoundTrip(t *testing.T) {
 func TestBundleWriteValidation(t *testing.T) {
 	all := orderedSets()
 	var buf bytes.Buffer
-	if err := WriteBundle(&buf, nil, snapshotTerm); err == nil {
+	if err := WriteBundle(&buf, nil, snapshotTerm, 0); err == nil {
 		t.Error("WriteBundle accepted zero members")
 	}
-	if err := WriteBundle(&buf, []*PatternSet{all[0], all[1], all[2], all[0]}, snapshotTerm); err == nil {
+	if err := WriteBundle(&buf, []*PatternSet{all[0], all[1], all[2], all[0]}, snapshotTerm, 0); err == nil {
 		t.Error("WriteBundle accepted four members")
 	}
-	if err := WriteBundle(&buf, []*PatternSet{all[0], all[0]}, snapshotTerm); err == nil {
+	if err := WriteBundle(&buf, []*PatternSet{all[0], all[0]}, snapshotTerm, 0); err == nil {
 		t.Error("WriteBundle accepted duplicate kinds")
 	}
-	if err := WriteBundle(&buf, []*PatternSet{all[2], all[0]}, snapshotTerm); err == nil {
+	if err := WriteBundle(&buf, []*PatternSet{all[2], all[0]}, snapshotTerm, 0); err == nil {
 		t.Error("WriteBundle accepted out-of-order kinds")
 	}
 }
@@ -81,7 +84,7 @@ func TestBundleWriteValidation(t *testing.T) {
 func TestBundleRejectsTruncation(t *testing.T) {
 	full := writeBundleBytes(t, orderedSets())
 	for n := 0; n < len(full); n++ {
-		if _, err := ReadBundle(bytes.NewReader(full[:n])); err == nil {
+		if _, _, err := ReadBundle(bytes.NewReader(full[:n])); err == nil {
 			t.Fatalf("truncation to %d of %d bytes loaded without error", n, len(full))
 		}
 	}
@@ -95,7 +98,7 @@ func TestBundleRejectsCorruption(t *testing.T) {
 	for i := range full {
 		corrupt := bytes.Clone(full)
 		corrupt[i] ^= 0xff
-		if _, err := ReadBundle(bytes.NewReader(corrupt)); err == nil {
+		if _, _, err := ReadBundle(bytes.NewReader(corrupt)); err == nil {
 			t.Fatalf("flipping byte %d of %d loaded without error", i, len(full))
 		}
 	}
@@ -109,15 +112,16 @@ func TestBundleRejectsCorruption(t *testing.T) {
 func TestBundleRejectsManifestFingerprintMismatch(t *testing.T) {
 	full := writeBundleBytes(t, []*PatternSet{temporalSet()})
 	tampered := bytes.Clone(full)
-	// Manifest entry starts at 16 (magic 8 + version 4 + count 4); its
-	// fingerprint at +12. Flip a fingerprint byte, then recompute the
-	// trailing checksum so only the manifest check can object.
-	tampered[16+12] ^= 0xff
+	// Manifest entry starts at 24 (magic 8 + version 4 + count 4 +
+	// generation 8); its fingerprint at +12. Flip a fingerprint byte,
+	// then recompute the trailing checksum so only the manifest check
+	// can object.
+	tampered[24+12] ^= 0xff
 	payload := tampered[:len(tampered)-sha256.Size]
 	sum := sha256.Sum256(payload)
 	copy(tampered[len(tampered)-sha256.Size:], sum[:])
 
-	_, err := ReadBundle(bytes.NewReader(tampered))
+	_, _, err := ReadBundle(bytes.NewReader(tampered))
 	if err == nil {
 		t.Fatal("bundle with mismatched manifest fingerprint loaded without error")
 	}
@@ -130,7 +134,7 @@ func TestBundleRejectsManifestFingerprintMismatch(t *testing.T) {
 // footer are rejected.
 func TestBundleRejectsTrailingData(t *testing.T) {
 	full := writeBundleBytes(t, orderedSets())
-	if _, err := ReadBundle(bytes.NewReader(append(bytes.Clone(full), 0))); err == nil {
+	if _, _, err := ReadBundle(bytes.NewReader(append(bytes.Clone(full), 0))); err == nil {
 		t.Fatal("bundle with trailing garbage loaded without error")
 	}
 }
@@ -141,19 +145,19 @@ func TestBundleRejectsHeaderDamage(t *testing.T) {
 
 	badMagic := bytes.Clone(full)
 	badMagic[0] = 'X'
-	if _, err := ReadBundle(bytes.NewReader(badMagic)); err == nil || !strings.Contains(err.Error(), "magic") {
+	if _, _, err := ReadBundle(bytes.NewReader(badMagic)); err == nil || !strings.Contains(err.Error(), "magic") {
 		t.Errorf("bad magic: got %v, want magic error", err)
 	}
 
 	badVersion := bytes.Clone(full)
 	badVersion[8] = 99
-	if _, err := ReadBundle(bytes.NewReader(badVersion)); err == nil || !strings.Contains(err.Error(), "version") {
+	if _, _, err := ReadBundle(bytes.NewReader(badVersion)); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Errorf("bad version: got %v, want version error", err)
 	}
 
 	badCount := bytes.Clone(full)
 	badCount[12] = 200
-	if _, err := ReadBundle(bytes.NewReader(badCount)); err == nil || !strings.Contains(err.Error(), "count") {
+	if _, _, err := ReadBundle(bytes.NewReader(badCount)); err == nil || !strings.Contains(err.Error(), "count") {
 		t.Errorf("bad count: got %v, want count error", err)
 	}
 }
@@ -162,25 +166,31 @@ func TestBundleRejectsHeaderDamage(t *testing.T) {
 // snapshot, and rejects junk.
 func TestReadStoreDispatch(t *testing.T) {
 	bundle := writeBundleBytes(t, orderedSets())
-	snaps, err := ReadStore(bytes.NewReader(bundle))
+	snaps, gen, err := ReadStore(bytes.NewReader(bundle))
 	if err != nil || len(snaps) != 3 {
 		t.Fatalf("ReadStore(bundle) = %d members, %v; want 3, nil", len(snaps), err)
 	}
+	if gen != 7 {
+		t.Errorf("ReadStore(bundle) generation = %d, want the written 7", gen)
+	}
 
 	var buf bytes.Buffer
-	if err := WriteSnapshot(&buf, regionalSet(), snapshotTerm); err != nil {
+	if err := WriteSnapshotGen(&buf, regionalSet(), snapshotTerm, 3); err != nil {
 		t.Fatal(err)
 	}
-	snaps, err = ReadStore(bytes.NewReader(buf.Bytes()))
+	snaps, gen, err = ReadStore(bytes.NewReader(buf.Bytes()))
 	if err != nil || len(snaps) != 1 {
 		t.Fatalf("ReadStore(snapshot) = %d members, %v; want 1, nil", len(snaps), err)
 	}
 	if snaps[0].Set.Kind() != KindRegional {
 		t.Errorf("snapshot dispatch decoded kind %v", snaps[0].Set.Kind())
 	}
+	if gen != 3 {
+		t.Errorf("ReadStore(snapshot) generation = %d, want the snapshot's own 3", gen)
+	}
 
 	for _, junk := range []string{"", "tiny", "neither a snapshot nor a bundle"} {
-		if _, err := ReadStore(strings.NewReader(junk)); err == nil {
+		if _, _, err := ReadStore(strings.NewReader(junk)); err == nil {
 			t.Errorf("ReadStore accepted %q", junk)
 		}
 	}

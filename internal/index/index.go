@@ -97,6 +97,25 @@ func (ix *Index) Score(term, doc int) (float64, bool) {
 	return s, ok
 }
 
+// CandidateBound returns an upper bound on the number of distinct
+// documents a MissingExcludes query over terms can ever return: every
+// hit must appear in each query term's posting list, so the shortest
+// list bounds the result set (and a term with no postings zeroes it).
+// The search layer uses it to size retrieval fetches and to answer
+// pages offset past the last possible hit without fetching at all.
+func (ix *Index) CandidateBound(terms []int) int {
+	if len(terms) == 0 {
+		return 0
+	}
+	bound := len(ix.postings[terms[0]])
+	for _, t := range terms[1:] {
+		if n := len(ix.postings[t]); n < bound {
+			bound = n
+		}
+	}
+	return bound
+}
+
 // TopK answers a multi-term top-k query with the Threshold Algorithm:
 // round-robin sorted access over the query terms' posting lists, random
 // access to complete each newly seen document's aggregate, and

@@ -20,10 +20,13 @@ import (
 
 // Snapshot binary format (".stb", little-endian throughout):
 //
-//	magic    [8]byte  "STBSNAP\x00"
-//	version  uint32   currently 1
-//	kind     uint32   PatternKind
-//	terms    uvarint  number of terms holding patterns
+//	magic      [8]byte  "STBSNAP\x00"
+//	version    uint32   currently 2
+//	kind       uint32   PatternKind
+//	generation uint64   store generation the snapshot was saved at
+//	                    (version ≥ 2 only; a version-1 stream has no
+//	                    generation field and reads as generation 0)
+//	terms      uvarint  number of terms holding patterns
 //	then, for each term in ascending writer-side interned-ID order:
 //	  id       uvarint  the writer's interned term ID
 //	  term     uvarint length + that many UTF-8 bytes
@@ -42,9 +45,13 @@ import (
 // snapshotMagic identifies a pattern-index snapshot stream.
 const snapshotMagic = "STBSNAP\x00"
 
-// SnapshotVersion is the codec version written by WriteSnapshot and the
-// only version ReadSnapshot accepts.
-const SnapshotVersion = 1
+// SnapshotVersion is the codec version written by WriteSnapshot.
+// ReadSnapshot also accepts the previous version 1 (the pre-generation
+// format), decoding it as generation 0.
+const SnapshotVersion = 2
+
+// minSnapshotVersion is the oldest codec version ReadSnapshot accepts.
+const minSnapshotVersion = 1
 
 // maxSnapshotTermLen bounds a stored term string; longer length prefixes
 // can only come from corrupted input and are rejected before allocating.
@@ -54,9 +61,12 @@ const maxSnapshotTermLen = 1 << 20
 // *writer's* interned term IDs. Set holds the patterns exactly as they
 // were mined; Terms gives the string of each ID in Set.Terms() order, so
 // Remap can re-intern the patterns into another collection's dictionary.
+// Generation is the store generation the snapshot was saved at (0 for a
+// version-1 stream, which predates generations).
 type Snapshot struct {
-	Set   *PatternSet
-	Terms []string
+	Set        *PatternSet
+	Terms      []string
+	Generation uint64
 }
 
 // snapshotWriter serializes primitive values with the format's encodings,
@@ -98,14 +108,33 @@ func (sw *snapshotWriter) string(s string) {
 // WriteSnapshot serializes a PatternSet to w in the versioned binary
 // snapshot format, resolving each interned term ID to its string through
 // term (normally Dictionary.Term). The trailing canonical SHA-256
-// fingerprint lets ReadSnapshot verify the round trip bit for bit.
+// fingerprint lets ReadSnapshot verify the round trip bit for bit. The
+// snapshot carries generation 0; use WriteSnapshotGen to record a store
+// generation for cache-busting.
 func WriteSnapshot(w io.Writer, s *PatternSet, term func(id int) string) error {
+	return writeSnapshotVersion(w, s, term, 0, SnapshotVersion)
+}
+
+// WriteSnapshotGen is WriteSnapshot with an explicit store generation
+// recorded in the v2 header.
+func WriteSnapshotGen(w io.Writer, s *PatternSet, term func(id int) string, gen uint64) error {
+	return writeSnapshotVersion(w, s, term, gen, SnapshotVersion)
+}
+
+// writeSnapshotVersion writes the snapshot at a specific codec version.
+// Version 1 — kept so the cross-version tests can produce genuine legacy
+// streams — has no generation field; gen is ignored there.
+func writeSnapshotVersion(w io.Writer, s *PatternSet, term func(id int) string, gen uint64, version uint32) error {
 	sw := &snapshotWriter{w: bufio.NewWriter(w), h: sha256.New()}
 	sw.bytes([]byte(snapshotMagic))
-	binary.LittleEndian.PutUint32(sw.buf[:4], SnapshotVersion)
+	binary.LittleEndian.PutUint32(sw.buf[:4], version)
 	sw.bytes(sw.buf[:4])
 	binary.LittleEndian.PutUint32(sw.buf[:4], uint32(s.Kind()))
 	sw.bytes(sw.buf[:4])
+	if version >= 2 {
+		binary.LittleEndian.PutUint64(sw.buf[:8], gen)
+		sw.bytes(sw.buf[:8])
+	}
 	sw.uvarint(uint64(s.NumTerms()))
 	for _, id := range s.Terms() {
 		sw.uvarint(uint64(id))
@@ -281,8 +310,8 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	if p := sr.bytes(4); p != nil {
 		version = binary.LittleEndian.Uint32(p)
 	}
-	if sr.err == nil && version != SnapshotVersion {
-		return nil, fmt.Errorf("index: unsupported snapshot version %d (want %d)", version, SnapshotVersion)
+	if sr.err == nil && (version < minSnapshotVersion || version > SnapshotVersion) {
+		return nil, fmt.Errorf("index: unsupported snapshot version %d (want %d..%d)", version, minSnapshotVersion, SnapshotVersion)
 	}
 	if p := sr.bytes(4); p != nil {
 		kindRaw = binary.LittleEndian.Uint32(p)
@@ -290,6 +319,13 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	kind := PatternKind(kindRaw)
 	if sr.err == nil && kind != KindRegional && kind != KindCombinatorial && kind != KindTemporal {
 		return nil, fmt.Errorf("index: unknown snapshot pattern kind %d", kindRaw)
+	}
+	var generation uint64
+	if version >= 2 {
+		// Version-1 streams predate generations and read as generation 0.
+		if p := sr.bytes(8); p != nil {
+			generation = binary.LittleEndian.Uint64(p)
+		}
 	}
 
 	numTerms, _ := sr.count()
@@ -401,7 +437,7 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("index: snapshot corrupted: content fingerprint %s does not match stored %s",
 			got, hex.EncodeToString(storedFP))
 	}
-	return &Snapshot{Set: set, Terms: terms}, nil
+	return &Snapshot{Set: set, Terms: terms, Generation: generation}, nil
 }
 
 // WriteSnapshotFile saves a snapshot atomically: it writes to a temp

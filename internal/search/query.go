@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync/atomic"
 
 	"stburst/internal/burst"
 	"stburst/internal/core"
@@ -49,6 +50,16 @@ type Page struct {
 	More bool
 }
 
+// fetchRounds counts TopK retrieval rounds across all Run calls in the
+// process. It exists so tests can assert that pathological pages — an
+// Offset pointing past the last possible hit — resolve without grinding
+// the progressive fetch-doubling through the whole index.
+var fetchRounds atomic.Int64
+
+// FetchRounds returns the cumulative number of TopK retrieval rounds
+// executed by Run since process start.
+func FetchRounds() int64 { return fetchRounds.Load() }
+
 // ErrNoPatternSet is returned for spatiotemporally filtered queries on an
 // engine built from a bare Burstiness closure: without the pattern set
 // there is nothing to intersect the filter against.
@@ -89,22 +100,39 @@ func (e *Engine) Run(ctx context.Context, q Query) (Page, error) {
 	if need < 0 {
 		return Page{}, nil // K+Offset overflowed; nothing sane to page
 	}
+	// The shortest query term's posting list bounds the result set: an
+	// Offset at or past it can never land on a hit, so the page is empty
+	// (More=false) without a single retrieval round — previously such a
+	// request ground through the progressive fetch-doubling until the
+	// index was exhausted.
+	bound := e.idx.CandidateBound(terms)
+	if q.Offset >= bound {
+		return Page{}, nil
+	}
 	// Fetch one hit beyond the page to learn whether more exist; with a
 	// post-filter in play, double the fetch depth until enough hits
-	// survive or the index is exhausted. The capacity hint is bounded:
-	// K/Offset are caller-controlled (unauthenticated over HTTP), and the
-	// slice should grow with actual hits, not with the request's ambition.
+	// survive or the index is exhausted. Fetches never exceed the
+	// candidate bound: a request for everything the index can possibly
+	// hold completes in one round instead of doubling past it. The
+	// capacity hint is bounded: K/Offset are caller-controlled
+	// (unauthenticated over HTTP), and the slice should grow with actual
+	// hits, not with the request's ambition.
 	capHint := need + 1
 	if capHint > 4096 {
 		capHint = 4096
 	}
 	kept := make([]Result, 0, capHint)
-	for fetch := need + 1; ; fetch *= 2 {
+	fetch := need + 1
+	if fetch > bound {
+		fetch = bound
+	}
+	for {
 		if err := ctx.Err(); err != nil {
 			return Page{}, err
 		}
+		fetchRounds.Add(1)
 		rs := e.idx.TopK(terms, fetch, index.MissingExcludes)
-		exhausted := len(rs) < fetch
+		exhausted := len(rs) < fetch || fetch >= bound
 		kept = kept[:0]
 		for _, r := range rs {
 			if r.Score < q.MinScore {
@@ -123,6 +151,9 @@ func (e *Engine) Run(ctx context.Context, q Query) (Page, error) {
 		}
 		if len(kept) > need || exhausted {
 			break
+		}
+		if fetch *= 2; fetch > bound {
+			fetch = bound
 		}
 	}
 

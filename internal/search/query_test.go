@@ -3,6 +3,7 @@ package search
 import (
 	"context"
 	"errors"
+	"math/bits"
 	"reflect"
 	"testing"
 
@@ -107,6 +108,95 @@ func TestRunSpanFilter(t *testing.T) {
 	}
 	if len(page.Results) != 0 {
 		t.Errorf("span outside every pattern matched %d hits", len(page.Results))
+	}
+}
+
+// TestRunOffsetPastLastHit is the regression test for the pathological
+// page: an Offset at or beyond the shortest query term's posting list
+// can never land on a hit, so Run must answer an empty page with
+// More=false without a single retrieval round — previously it ground
+// the progressive fetch-doubling through the whole index. An Offset
+// past the last hit but within the bound must still resolve in one
+// round when no post-filter starves the page.
+func TestRunOffsetPastLastHit(t *testing.T) {
+	e := stlocalEngine(t)
+	term, ok := e.col.Dict().Lookup("quake")
+	if !ok {
+		t.Fatal("no quake term")
+	}
+	bound := e.idx.CandidateBound([]int{term})
+	if bound == 0 {
+		t.Fatal("quake has no postings")
+	}
+
+	// Way past every possible hit, filtered and unfiltered: zero rounds.
+	region := geo.Rect{MinX: -1, MinY: -1, MaxX: 1, MaxY: 1}
+	for _, q := range []Query{
+		{Terms: []int{term}, K: 10, Offset: bound},
+		{Terms: []int{term}, K: 10, Offset: 1 << 20},
+		{Terms: []int{term}, K: 10, Offset: bound, Region: &region},
+	} {
+		before := FetchRounds()
+		page, err := e.Run(context.Background(), q)
+		if err != nil {
+			t.Fatalf("Run(offset %d): %v", q.Offset, err)
+		}
+		if len(page.Results) != 0 || page.More {
+			t.Errorf("offset %d: page = %d hits, more=%v; want empty, false", q.Offset, len(page.Results), page.More)
+		}
+		if rounds := FetchRounds() - before; rounds != 0 {
+			t.Errorf("offset %d: %d fetch rounds, want 0 (the candidate bound answers it)", q.Offset, rounds)
+		}
+	}
+
+	// Just past the last actual hit (but inside the bound): one round.
+	full, err := e.Run(context.Background(), Query{Terms: []int{term}, K: bound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := len(full.Results)
+	if hits == 0 || hits > bound {
+		t.Fatalf("full fetch returned %d hits (bound %d)", hits, bound)
+	}
+	if hits < bound {
+		before := FetchRounds()
+		page, err := e.Run(context.Background(), Query{Terms: []int{term}, K: 10, Offset: hits})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page.Results) != 0 || page.More {
+			t.Errorf("offset at last hit: page = %d hits, more=%v; want empty, false", len(page.Results), page.More)
+		}
+		if rounds := FetchRounds() - before; rounds != 1 {
+			t.Errorf("offset at last hit took %d fetch rounds, want 1", rounds)
+		}
+	}
+}
+
+// TestRunFetchCappedAtBound: even a starving post-filter never doubles
+// the fetch beyond the candidate bound — one bound-sized round is the
+// worst case once the doubling reaches it.
+func TestRunFetchCappedAtBound(t *testing.T) {
+	e := stlocalEngine(t)
+	term, ok := e.col.Dict().Lookup("quake")
+	if !ok {
+		t.Fatal("no quake term")
+	}
+	bound := e.idx.CandidateBound([]int{term})
+	// A region intersecting nothing starves every page.
+	region := geo.Rect{MinX: 900, MinY: 900, MaxX: 901, MaxY: 901}
+	before := FetchRounds()
+	page, err := e.Run(context.Background(), Query{Terms: []int{term}, K: 1, Offset: 0, Region: &region})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Results) != 0 || page.More {
+		t.Errorf("starved page = %d hits, more=%v", len(page.Results), page.More)
+	}
+	// fetch starts at K+1=2 and doubles to the bound: at most
+	// ceil(log2(bound)) + 1 rounds, and never more than bound rounds.
+	if rounds := FetchRounds() - before; rounds > int64(bits.Len(uint(bound)))+1 {
+		t.Errorf("starved query took %d fetch rounds for bound %d", rounds, bound)
 	}
 }
 

@@ -1,0 +1,120 @@
+package search
+
+import (
+	"context"
+	"sort"
+
+	"stburst/internal/burst"
+	"stburst/internal/core"
+	"stburst/internal/par"
+	"stburst/internal/stream"
+)
+
+// RemineDirtyParCtx incrementally refreshes mined pattern maps after a
+// Collection.Append: only the dirty terms — those whose frequency
+// surfaces the append changed, including newly interned ones — are
+// re-mined, and every clean term keeps its previous patterns untouched.
+// Because each term is mined independently of every other (a term's
+// windows, combinatorial patterns and temporal intervals depend only on
+// its own surface), the result is bit-identical to a full re-mine of the
+// whole vocabulary over the appended collection; the oracle tests assert
+// fingerprint equality against MineAllKindsParCtx.
+//
+// One kind is re-mined per non-nil prev map (the resident set of a
+// store need not hold all three); a nil prev map skips its kind and
+// returns nil for it. The prev maps are never mutated: each refreshed
+// map is a fresh shallow copy sharing the clean terms' pattern slices,
+// so indexes built over the prev maps keep serving while the refresh
+// runs. The dirty terms fan out across one shared bounded worker pool
+// with a (term, kind) work list, exactly like the one-pass MineStore
+// machinery; a cancelled context aborts the pass with ctx.Err().
+func RemineDirtyParCtx(ctx context.Context, col *stream.Collection, dirty []int,
+	prevW map[int][]core.Window, prevC map[int][]core.CombPattern, prevT map[int][]burst.Interval,
+	lopts core.STLocalOptions, copts core.STCombOptions, det burst.Detector, workers int,
+) (map[int][]core.Window, map[int][]core.CombPattern, map[int][]burst.Interval, error) {
+	if det == nil {
+		det = burst.Discrepancy{}
+	}
+	terms := append([]int(nil), dirty...)
+	sort.Ints(terms) // deterministic work list regardless of caller order
+
+	// The (term, kind) job list covers only the active kinds, term-major
+	// so a slow regional term overlaps cheap temporal work.
+	type mineKind int
+	const (
+		mineWindows mineKind = iota
+		mineCombs
+		mineTemporal
+	)
+	var active []mineKind
+	if prevW != nil {
+		active = append(active, mineWindows)
+	}
+	if prevC != nil {
+		active = append(active, mineCombs)
+	}
+	if prevT != nil {
+		active = append(active, mineTemporal)
+	}
+	if len(active) == 0 || len(terms) == 0 {
+		// Nothing dirty or nothing resident: the previous maps are
+		// already exact.
+		return prevW, prevC, prevT, nil
+	}
+
+	points := col.Points()
+	var (
+		windows  = make([][]core.Window, len(terms))
+		combs    = make([][]core.CombPattern, len(terms))
+		temporal = make([][]burst.Interval, len(terms))
+	)
+	if err := par.ForEachCtx(ctx, len(active)*len(terms), workers, func(i int) {
+		termsMined.Add(1)
+		term := terms[i/len(active)]
+		switch active[i%len(active)] {
+		case mineWindows:
+			ws, err := core.MineLocal(col.Surface(term), points, lopts)
+			if err != nil {
+				// Surfaces are always well-formed here; an error indicates
+				// a programming bug, not bad input.
+				panic(err)
+			}
+			windows[i/len(active)] = ws
+		case mineCombs:
+			combs[i/len(active)] = core.STComb(col.Surface(term), copts)
+		case mineTemporal:
+			temporal[i/len(active)] = det.Detect(col.MergedSeries(term))
+		}
+	}); err != nil {
+		return nil, nil, nil, err
+	}
+
+	wOut := refresh(prevW, terms, windows)
+	cOut := refresh(prevC, terms, combs)
+	tOut := refresh(prevT, terms, temporal)
+	return wOut, cOut, tOut, nil
+}
+
+// refresh builds the post-append pattern map for one kind: a shallow
+// copy of prev with every dirty term's entry replaced by its re-mined
+// patterns. Terms whose re-mine came back empty are dropped, matching
+// the batch miners (which never store empty per-term results) — more
+// data can dissolve a pattern as well as create one, e.g. by raising a
+// term's baseline.
+func refresh[P any](prev map[int][]P, terms []int, mined [][]P) map[int][]P {
+	if prev == nil {
+		return nil
+	}
+	out := make(map[int][]P, len(prev)+len(terms))
+	for t, ps := range prev {
+		out[t] = ps
+	}
+	for i, t := range terms {
+		if len(mined[i]) > 0 {
+			out[t] = mined[i]
+		} else {
+			delete(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"stburst/internal/core"
+	"stburst/internal/stream"
+)
+
+// appendTestBatch dirties a strict subset of the vocabulary: the
+// existing "quake" term plus a brand-new "flood" term.
+func appendTestBatch(t *testing.T, col *stream.Collection) []int {
+	t.Helper()
+	_, dirty, err := col.Append([]stream.AppendDoc{
+		{Stream: 1, Time: 4, Counts: map[string]int{"quake": 2, "flood": 1}},
+		{Stream: 0, Time: 5, Counts: map[string]int{"flood": 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirty
+}
+
+// TestRemineDirtyMatchesFullRemine is the internal oracle: refreshing
+// only the dirty terms reproduces, map for map, a full re-mine of the
+// whole vocabulary over the appended collection — for every kind and
+// worker count.
+func TestRemineDirtyMatchesFullRemine(t *testing.T) {
+	col := testCollection(t)
+	prevW := MineWindows(col, core.STLocalOptions{})
+	prevC := MineCombPatterns(col, core.STCombOptions{})
+	prevT := MineTemporal(col, nil)
+
+	dirty := appendTestBatch(t, col)
+	if len(dirty) == 0 || len(dirty) >= len(col.Terms()) {
+		t.Fatalf("batch dirtied %d of %d terms; the oracle needs a strict non-empty subset", len(dirty), len(col.Terms()))
+	}
+
+	wantW := MineWindows(col, core.STLocalOptions{})
+	wantC := MineCombPatterns(col, core.STCombOptions{})
+	wantT := MineTemporal(col, nil)
+
+	for _, workers := range []int{1, 3, 0} {
+		gotW, gotC, gotT, err := RemineDirtyParCtx(context.Background(), col, dirty,
+			prevW, prevC, prevT, core.STLocalOptions{}, core.STCombOptions{}, nil, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(gotW, wantW) {
+			t.Errorf("workers=%d: windows diverge from full re-mine", workers)
+		}
+		if !reflect.DeepEqual(gotC, wantC) {
+			t.Errorf("workers=%d: comb patterns diverge from full re-mine", workers)
+		}
+		if !reflect.DeepEqual(gotT, wantT) {
+			t.Errorf("workers=%d: temporal intervals diverge from full re-mine", workers)
+		}
+	}
+}
+
+// TestRemineDirtyCountsOnlyDirtyTerms: the incremental path mines
+// exactly |dirty| x |active kinds| jobs, never the full vocabulary.
+func TestRemineDirtyCountsOnlyDirtyTerms(t *testing.T) {
+	col := testCollection(t)
+	prevW := MineWindows(col, core.STLocalOptions{})
+	prevT := MineTemporal(col, nil)
+	dirty := appendTestBatch(t, col)
+
+	before := TermsMined()
+	if _, _, _, err := RemineDirtyParCtx(context.Background(), col, dirty,
+		prevW, nil, prevT, core.STLocalOptions{}, core.STCombOptions{}, nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	if delta, want := TermsMined()-before, int64(2*len(dirty)); delta != want {
+		t.Errorf("re-mined %d jobs, want %d (2 active kinds x %d dirty terms)", delta, want, len(dirty))
+	}
+}
+
+// TestRemineDirtySkipsInactiveKinds: a nil prev map keeps its kind out
+// of the work list and returns nil for it.
+func TestRemineDirtySkipsInactiveKinds(t *testing.T) {
+	col := testCollection(t)
+	prevT := MineTemporal(col, nil)
+	dirty := appendTestBatch(t, col)
+	w, c, tp, err := RemineDirtyParCtx(context.Background(), col, dirty,
+		nil, nil, prevT, core.STLocalOptions{}, core.STCombOptions{}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != nil || c != nil {
+		t.Error("inactive kinds were re-mined")
+	}
+	if want := MineTemporal(col, nil); !reflect.DeepEqual(tp, want) {
+		t.Error("temporal refresh diverges from full re-mine")
+	}
+}
+
+// TestRemineDirtyDoesNotMutatePrev: the previous maps — still serving
+// live queries during a refresh — are never written.
+func TestRemineDirtyDoesNotMutatePrev(t *testing.T) {
+	col := testCollection(t)
+	prevW := MineWindows(col, core.STLocalOptions{})
+	frozen := make(map[int][]core.Window, len(prevW))
+	for k, v := range prevW {
+		frozen[k] = append([]core.Window(nil), v...)
+	}
+	dirty := appendTestBatch(t, col)
+	if _, _, _, err := RemineDirtyParCtx(context.Background(), col, dirty,
+		prevW, nil, nil, core.STLocalOptions{}, core.STCombOptions{}, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(prevW) != len(frozen) {
+		t.Fatal("refresh changed the previous map's size")
+	}
+	for k, v := range frozen {
+		if !reflect.DeepEqual(prevW[k], v) {
+			t.Fatalf("refresh mutated the previous windows of term %d", k)
+		}
+	}
+}
+
+// TestRemineDirtyCancel: a cancelled context aborts the pass.
+func TestRemineDirtyCancel(t *testing.T) {
+	col := testCollection(t)
+	prevW := MineWindows(col, core.STLocalOptions{})
+	dirty := appendTestBatch(t, col)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, _, err := RemineDirtyParCtx(ctx, col, dirty,
+		prevW, nil, nil, core.STLocalOptions{}, core.STCombOptions{}, nil, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled re-mine = %v, want context.Canceled", err)
+	}
+}

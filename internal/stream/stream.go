@@ -2,6 +2,9 @@ package stream
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"stburst/internal/geo"
 )
@@ -23,6 +26,12 @@ type Document struct {
 }
 
 // Dictionary interns terms to dense integer IDs.
+//
+// Concurrency: ID (interning) must only run from the collection's writer
+// path; Lookup/Term/Len are safe for unlimited concurrent use against a
+// dictionary reached through a published collection state, because
+// appends never mutate entries a published state can see (see
+// Collection.Append).
 type Dictionary struct {
 	ids   map[string]int
 	terms []string
@@ -56,6 +65,19 @@ func (d *Dictionary) Term(id int) string { return d.terms[id] }
 // Len returns the number of interned terms.
 func (d *Dictionary) Len() int { return len(d.terms) }
 
+// clone returns a dictionary the appender may intern into without
+// disturbing readers of the original: the ids map is copied (map writes
+// race with reads), while the terms slice is shared — ID only ever
+// appends, and a reader of the original dictionary never indexes past
+// its own frozen length.
+func (d *Dictionary) clone() *Dictionary {
+	ids := make(map[string]int, len(d.ids))
+	for t, id := range d.ids {
+		ids[t] = id
+	}
+	return &Dictionary{ids: ids, terms: d.terms}
+}
+
 // posting records one (document, stream, time, count) occurrence of a
 // term. Fields are packed: corpora at the paper's scale (305k articles,
 // ~9M postings) stay in tens of megabytes.
@@ -66,34 +88,48 @@ type posting struct {
 	count  int32
 }
 
+// state is one immutable-once-published snapshot of the collection's
+// mutable content. Readers load the current state exactly once per
+// operation and never observe a torn mix of two generations; appenders
+// build the next state and publish it with a single atomic store.
+type state struct {
+	dict     *Dictionary
+	docs     []Document
+	postings map[int][]posting // term ID -> occurrences
+}
+
 // Collection is a spatiotemporal document collection: n streams observed
 // over a timeline of Length discrete timestamps.
 //
-// Concurrency: loading (AddTokens/AddCounts/SetRetainCounts and
-// Dictionary.ID) must happen from a single goroutine. Once loading is
-// done, every read path — Surface, MergedSeries, TermDocs, Terms, Doc,
+// Concurrency: the initial load (AddTokens/AddCounts/AddStringCounts,
+// SetRetainCounts and Dictionary.ID) must happen from a single goroutine
+// with no concurrent readers, exactly as before. Once loading is done,
+// every read path — Surface, MergedSeries, TermDocs, Terms, Doc,
 // Dict().Lookup/Term, and the rest of the accessors — is safe for
-// unlimited concurrent use: the corpus-wide batch miners read one
-// collection from many workers at once.
+// unlimited concurrent use, and Append may publish further documents
+// while those reads run: each reader operation sees one atomic snapshot
+// of the collection, either wholly before or wholly after any batch.
 type Collection struct {
 	streams      []Info
 	length       int
-	dict         *Dictionary
-	docs         []Document
-	postings     map[int][]posting // term ID -> occurrences
 	retainCounts bool
+	mu           sync.Mutex // serializes writers: load-phase adds and Append batches
+	st           atomic.Pointer[state]
 }
 
 // NewCollection creates an empty collection over the given streams and
 // timeline length.
 func NewCollection(streams []Info, length int) *Collection {
-	return &Collection{
+	c := &Collection{
 		streams:      streams,
 		length:       length,
-		dict:         NewDictionary(),
-		postings:     make(map[int][]posting),
 		retainCounts: true,
 	}
+	c.st.Store(&state{
+		dict:     NewDictionary(),
+		postings: make(map[int][]posting),
+	})
+	return c
 }
 
 // SetRetainCounts controls whether documents keep their per-term count
@@ -122,43 +158,90 @@ func (c *Collection) Points() []geo.Point {
 	return pts
 }
 
-// Dict returns the collection's term dictionary.
-func (c *Collection) Dict() *Dictionary { return c.dict }
+// Dict returns the collection's term dictionary (the current snapshot's;
+// after an Append, a fresh Dict() call sees the extended vocabulary).
+func (c *Collection) Dict() *Dictionary { return c.st.Load().dict }
 
 // NumDocs returns the number of documents added so far.
-func (c *Collection) NumDocs() int { return len(c.docs) }
+func (c *Collection) NumDocs() int { return len(c.st.Load().docs) }
 
 // Doc returns document id (IDs are assigned densely by AddTokens/AddCounts
-// in insertion order).
-func (c *Collection) Doc(id int) Document { return c.docs[id] }
+// and Append in insertion order).
+func (c *Collection) Doc(id int) Document { return c.st.Load().docs[id] }
 
 // AddTokens adds a document given its token list, interning terms through
-// the collection dictionary, and returns the assigned document ID.
+// the collection dictionary, and returns the assigned document ID. Load
+// phase only; see Append for post-load arrival.
 func (c *Collection) AddTokens(streamIdx, time int, tokens []string) (int, error) {
+	st := c.st.Load()
 	counts := make(map[int]int, len(tokens))
 	for _, tok := range tokens {
-		counts[c.dict.ID(tok)]++
+		counts[st.dict.ID(tok)]++
 	}
 	return c.AddCounts(streamIdx, time, counts)
 }
 
-// AddCounts adds a document given pre-interned term counts and returns the
-// assigned document ID.
-func (c *Collection) AddCounts(streamIdx, time int, counts map[int]int) (int, error) {
+// AddStringCounts adds a document given per-term counts keyed by the term
+// string, interning the document's terms in sorted order: map iteration
+// is randomized per process, and snapshot portability (plus stable
+// cross-process index fingerprints) needs every load of a corpus to
+// assign identical dictionary IDs. Load phase only; Append interns the
+// same way for post-load batches.
+func (c *Collection) AddStringCounts(streamIdx, time int, counts map[string]int) (int, error) {
+	st := c.st.Load()
+	ids, _ := internSorted(st.dict, counts)
+	return c.AddCounts(streamIdx, time, ids)
+}
+
+// internSorted interns one document's terms into dict in sorted string
+// order and returns the ID-keyed count map plus the interned IDs in that
+// same sorted-term order — the single definition of deterministic
+// per-document interning shared by the load and append paths.
+func internSorted(dict *Dictionary, counts map[string]int) (map[int]int, []int) {
+	terms := make([]string, 0, len(counts))
+	for t := range counts {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	out := make(map[int]int, len(counts))
+	ids := make([]int, len(terms))
+	for i, t := range terms {
+		id := dict.ID(t)
+		out[id] = counts[t]
+		ids[i] = id
+	}
+	return out, ids
+}
+
+// checkDoc validates a document's stream and timestamp against the
+// collection's shape.
+func (c *Collection) checkDoc(streamIdx, time int) error {
 	if streamIdx < 0 || streamIdx >= len(c.streams) {
-		return 0, fmt.Errorf("stream: document stream %d out of range [0,%d)", streamIdx, len(c.streams))
+		return fmt.Errorf("stream: document stream %d out of range [0,%d)", streamIdx, len(c.streams))
 	}
 	if time < 0 || time >= c.length {
-		return 0, fmt.Errorf("stream: document time %d out of range [0,%d)", time, c.length)
+		return fmt.Errorf("stream: document time %d out of range [0,%d)", time, c.length)
 	}
-	id := len(c.docs)
+	return nil
+}
+
+// AddCounts adds a document given pre-interned term counts and returns the
+// assigned document ID. Load phase only: it mutates the current snapshot
+// in place (single goroutine, no concurrent readers); see Append for the
+// post-load write path.
+func (c *Collection) AddCounts(streamIdx, time int, counts map[int]int) (int, error) {
+	if err := c.checkDoc(streamIdx, time); err != nil {
+		return 0, err
+	}
+	st := c.st.Load()
+	id := len(st.docs)
 	doc := Document{ID: id, Stream: streamIdx, Time: time}
 	if c.retainCounts {
 		doc.Counts = counts
 	}
-	c.docs = append(c.docs, doc)
+	st.docs = append(st.docs, doc)
 	for term, n := range counts {
-		c.postings[term] = append(c.postings[term], posting{
+		st.postings[term] = append(st.postings[term], posting{
 			doc:    int32(id),
 			stream: int32(streamIdx),
 			time:   int32(time),
@@ -168,29 +251,110 @@ func (c *Collection) AddCounts(streamIdx, time int, counts map[int]int) (int, er
 	return id, nil
 }
 
+// AppendDoc is one document arriving after the initial load: a stream, a
+// timestamp, and per-term counts keyed by the term string (interned in
+// sorted order, preserving the deterministic ID assignment of the load
+// path for replayed appends).
+type AppendDoc struct {
+	Stream int
+	Time   int
+	Counts map[string]int
+}
+
+// Append atomically publishes a batch of documents arriving after the
+// initial load, safely under any number of concurrent readers: the next
+// snapshot is built aside (sharing all untouched structure with the
+// current one) and installed with a single atomic store, so a concurrent
+// reader observes the collection either wholly before or wholly after
+// the batch, never a torn mix. Batches are all-or-nothing: any invalid
+// document rejects the whole batch with nothing published. Concurrent
+// Append calls serialize.
+//
+// It returns the ID assigned to the first appended document (IDs are
+// dense and consecutive from there) and the ascending IDs of every
+// dirty term — a term whose frequency surface the batch changed,
+// including terms the batch interned for the first time. The frozen
+// prefix of the dictionary is untouched: existing IDs never move, so
+// pattern indexes and snapshots mined before the append remain attached
+// and only the dirty terms need re-mining.
+func (c *Collection) Append(docs []AppendDoc) (firstID int, dirty []int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, d := range docs {
+		if err := c.checkDoc(d.Stream, d.Time); err != nil {
+			return 0, nil, fmt.Errorf("appending document %d: %w", i, err)
+		}
+	}
+	cur := c.st.Load()
+	next := &state{
+		dict: cur.dict.clone(),
+		// Appending to the current slices beyond their published length
+		// is reader-safe: a reader's snapshot caps every index at the
+		// length it was published with, so writes land either past every
+		// visible length (shared backing array) or in a fresh copy.
+		docs:     cur.docs,
+		postings: make(map[int][]posting, len(cur.postings)),
+	}
+	for t, ps := range cur.postings {
+		next.postings[t] = ps
+	}
+	firstID = len(cur.docs)
+	dirtySet := make(map[int]struct{})
+	for i, d := range docs {
+		id := firstID + i
+		counts, ids := internSorted(next.dict, d.Counts)
+		doc := Document{ID: id, Stream: d.Stream, Time: d.Time}
+		if c.retainCounts {
+			doc.Counts = counts
+		}
+		next.docs = append(next.docs, doc)
+		// Walk the IDs in sorted-term order rather than the count map so
+		// posting order — and with it every downstream fingerprint — is
+		// deterministic across replays.
+		for _, tid := range ids {
+			next.postings[tid] = append(next.postings[tid], posting{
+				doc:    int32(id),
+				stream: int32(d.Stream),
+				time:   int32(d.Time),
+				count:  int32(counts[tid]),
+			})
+			dirtySet[tid] = struct{}{}
+		}
+	}
+	dirty = make([]int, 0, len(dirtySet))
+	for t := range dirtySet {
+		dirty = append(dirty, t)
+	}
+	sort.Ints(dirty)
+	c.st.Store(next)
+	return firstID, dirty, nil
+}
+
 // Terms returns the IDs of all terms that occur in the collection, in
 // unspecified order.
 func (c *Collection) Terms() []int {
-	out := make([]int, 0, len(c.postings))
-	for t := range c.postings {
+	st := c.st.Load()
+	out := make([]int, 0, len(st.postings))
+	for t := range st.postings {
 		out = append(out, t)
 	}
 	return out
 }
 
 // DocFreq returns the number of documents containing the term.
-func (c *Collection) DocFreq(term int) int { return len(c.postings[term]) }
+func (c *Collection) DocFreq(term int) int { return len(c.st.Load().postings[term]) }
 
 // Surface returns the dense frequency surface of a term:
 // surface[x][i] = D_x[i][t], the total frequency of the term in the
 // documents of stream x at timestamp i (Eq. 6 of the paper).
 func (c *Collection) Surface(term int) [][]float64 {
+	st := c.st.Load()
 	surface := make([][]float64, len(c.streams))
 	flat := make([]float64, len(c.streams)*c.length)
 	for x := range surface {
 		surface[x], flat = flat[:c.length], flat[c.length:]
 	}
-	for _, p := range c.postings[term] {
+	for _, p := range st.postings[term] {
 		surface[p.stream][p.time] += float64(p.count)
 	}
 	return surface
@@ -200,8 +364,9 @@ func (c *Collection) Surface(term int) [][]float64 {
 // into one, as consumed by the temporal-only TB baseline (§6.3: "the
 // streams from the various countries were merged to a single stream").
 func (c *Collection) MergedSeries(term int) []float64 {
+	st := c.st.Load()
 	series := make([]float64, c.length)
-	for _, p := range c.postings[term] {
+	for _, p := range st.postings[term] {
 		series[p.time] += float64(p.count)
 	}
 	return series
@@ -210,7 +375,7 @@ func (c *Collection) MergedSeries(term int) []float64 {
 // TermDocs returns the IDs of all documents containing the term together
 // with freq(term, d), in insertion order.
 func (c *Collection) TermDocs(term int) (ids []int, freqs []int) {
-	ps := c.postings[term]
+	ps := c.st.Load().postings[term]
 	ids = make([]int, len(ps))
 	freqs = make([]int, len(ps))
 	for i, p := range ps {

@@ -218,6 +218,9 @@ func (c *Collection) MineStore(ctx context.Context, opts *MineOptions) (*Store, 
 		return nil, err
 	}
 	s := NewStore(c)
+	// Record the mining options so Store.Ingest re-mines dirty terms
+	// with exactly the parameters the resident indexes were mined with.
+	s.SetMineOptions(opts)
 	for _, ix := range []*PatternIndex{
 		{c: c, set: index.NewWindowSet(windows)},
 		{c: c, set: index.NewCombSet(combs)},

@@ -1,6 +1,7 @@
 package stburst
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -151,11 +152,14 @@ func (o *CombinatorialOptions) coreOptions() core.STCombOptions {
 // Collection is a spatiotemporal document collection: documents arriving
 // on geostamped streams over a discrete timeline.
 //
-// Concurrency: add all documents from a single goroutine first; after
-// that, every read and mining method (RegionalPatterns,
-// CombinatorialPatterns, TemporalBursts, TermFrequency, the MineAll*
-// batch miners, engine construction and search) is safe to call from any
-// number of goroutines concurrently.
+// Concurrency: perform the initial load (AddText/AddTokens) from a
+// single goroutine first; after that, every read and mining method
+// (RegionalPatterns, CombinatorialPatterns, TemporalBursts,
+// TermFrequency, the batch miners, engine construction and search) is
+// safe to call from any number of goroutines concurrently, and Append
+// may publish further documents while those reads run: each read sees
+// one atomic snapshot of the collection, either wholly before or wholly
+// after any append batch.
 type Collection struct {
 	col *stream.Collection
 	tok *textproc.Tokenizer
@@ -205,6 +209,92 @@ func LoadCorpusLabeled(r io.Reader) (*Collection, []int, error) {
 		return nil, nil, err
 	}
 	return &Collection{col: col, tok: textproc.NewTokenizer()}, labels, nil
+}
+
+// IncomingDocument is one document arriving after the initial corpus
+// load — the unit of the live ingestion path (Collection.Append,
+// Store.Ingest, the Ingester, and stserve's POST /v1/documents).
+type IncomingDocument struct {
+	// Stream is the index of the originating stream.
+	Stream int
+	// Time is the document's timestamp on the collection's discrete
+	// timeline, in [0, Timeline()). The timeline is fixed at collection
+	// creation: live arrival fills the existing timeline, it does not
+	// extend it.
+	Time int
+	// Text is the document body, tokenized with the collection's
+	// pipeline (lowercasing, stopword removal) exactly like AddText.
+	Text string
+	// Tokens is the pre-tokenized alternative to Text and takes
+	// precedence when non-nil, exactly like AddTokens.
+	Tokens []string
+}
+
+// AppendResult reports one applied Collection.Append batch.
+type AppendResult struct {
+	// FirstID is the document ID assigned to the first document of the
+	// batch; IDs are dense and consecutive from there.
+	FirstID int
+	// Docs is the number of documents appended.
+	Docs int
+	// DirtyTerms lists every distinct term whose frequency surface the
+	// batch changed — including terms the batch introduced — sorted by
+	// interned ID (i.e. first-seen order). These are exactly the terms
+	// whose patterns must be re-mined for an index over the collection
+	// to be exact again; Store.Ingest does so automatically.
+	DirtyTerms []string
+}
+
+// Append publishes a batch of documents arriving after the initial load,
+// atomically and safely under any number of concurrent readers,
+// searches and miners: a concurrent reader observes the collection
+// either wholly before or wholly after the batch, never a torn mix.
+// Batches are all-or-nothing — any out-of-range stream or timestamp
+// rejects the whole batch with nothing published. Existing interned
+// term IDs never move (the frozen prefix), and each document's new
+// terms are interned in sorted order, so replaying the same appends
+// always assigns identical IDs and previously mined indexes and
+// snapshots stay attached; only the returned dirty terms go stale.
+// Concurrent Append calls serialize. The context is checked once up
+// front: batches apply quickly and atomically, so there is no
+// mid-batch cancellation point.
+//
+// Append alone leaves mined indexes describing the pre-append corpus;
+// use Store.Ingest (or an Ingester) to append and incrementally
+// re-mine in one step.
+func (c *Collection) Append(ctx context.Context, docs []IncomingDocument) (*AppendResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	first, dirty, err := c.appendDocs(docs)
+	if err != nil {
+		return nil, err
+	}
+	dict := c.col.Dict()
+	terms := make([]string, len(dirty))
+	for i, id := range dirty {
+		terms[i] = dict.Term(id)
+	}
+	return &AppendResult{FirstID: first, Docs: len(docs), DirtyTerms: terms}, nil
+}
+
+// appendDocs tokenizes and appends a batch, returning the first assigned
+// ID and the ascending dirty term IDs — the shared back half of Append
+// and Store.Ingest.
+func (c *Collection) appendDocs(docs []IncomingDocument) (int, []int, error) {
+	batch := make([]stream.AppendDoc, len(docs))
+	for i, d := range docs {
+		tokens := d.Tokens
+		if tokens == nil {
+			tokens = c.tok.Tokenize(d.Text)
+		}
+		counts := make(map[string]int, len(tokens))
+		for _, t := range tokens {
+			counts[t]++
+		}
+		batch[i] = stream.AppendDoc{Stream: d.Stream, Time: d.Time, Counts: counts}
+	}
+	return c.col.Append(batch)
 }
 
 // NumDocs returns the number of documents added.

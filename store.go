@@ -6,9 +6,13 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"sync/atomic"
 
+	"stburst/internal/burst"
+	"stburst/internal/core"
 	"stburst/internal/index"
+	"stburst/internal/search"
 )
 
 // ErrKindNotResident is returned (wrapped) by Store.Query when the query
@@ -27,9 +31,35 @@ var ErrKindNotResident = errors.New("stburst: pattern kind not resident in store
 // set replaced in a single atomic step (Replace) while any number of
 // queries run concurrently: a query observes either the old index or
 // the new one, never a torn mix, and never blocks behind a reload.
+//
+// A store is also the write path of a live deployment: Ingest appends a
+// batch of freshly arrived documents to the collection and re-mines only
+// the dirty terms, installing the refreshed indexes with the same atomic
+// Replace a reload uses. Every mutation — Swap, Replace, Ingest — bumps
+// the monotonically increasing Generation, the cache-busting token the
+// serving layer hands to clients.
 type Store struct {
 	c       *Collection
 	indexes atomic.Pointer[[3]*PatternIndex] // slot k-1 holds the index of concrete kind k
+	gen     atomic.Uint64
+	// writeMu serializes every writer — Swap, Replace, and Ingest end to
+	// end (snapshot → append → re-mine → install) — plus Save's
+	// (resident set, generation) read pair. Without it a Swap or Replace
+	// landing inside an in-flight Ingest's window would be silently
+	// overwritten by indexes derived from the pre-mutation resident set,
+	// and a Save racing an Ingest could stamp one generation onto
+	// another generation's indexes. Readers stay lock-free on the atomic
+	// pointer.
+	writeMu sync.Mutex
+	// staleDirty accumulates (under writeMu) dirty terms whose re-mine
+	// was aborted after their documents were already appended — a
+	// cancelled Ingest must not lose them, so the next Ingest re-mines
+	// them along with its own batch.
+	staleDirty map[int]struct{}
+	// mineOpts are the options Ingest re-mines dirty terms with; they
+	// must match the options the resident indexes were mined with for
+	// the refresh to be exact.
+	mineOpts atomic.Pointer[MineOptions]
 }
 
 // NewStore creates an empty store over the collection. Populate it with
@@ -40,6 +70,21 @@ func NewStore(c *Collection) *Store {
 	s.indexes.Store(new([3]*PatternIndex))
 	return s
 }
+
+// Generation returns the store's current generation: a monotonically
+// increasing counter bumped by every mutation (Swap, Replace, Ingest),
+// persisted in saved bundles and restored by LoadStore. Clients use it
+// to bust caches — two responses observed under the same generation were
+// served from the same resident set over the same corpus.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
+
+// SetMineOptions records the options Ingest re-mines dirty terms with.
+// They must match the options the resident indexes were originally mined
+// with, or the incrementally refreshed indexes would mix two parameter
+// settings; Collection.MineStore records its options automatically, so
+// only stores populated by hand (Swap/Replace/LoadStore) need this. A
+// nil opts restores the paper's defaults.
+func (s *Store) SetMineOptions(opts *MineOptions) { s.mineOpts.Store(opts) }
 
 // Collection returns the collection the store's indexes are mined from.
 func (s *Store) Collection() *Collection { return s.c }
@@ -71,7 +116,9 @@ func (s *Store) checkResident(kind Kind, ix *PatternIndex) error {
 // concrete kind and returns the index it replaced (nil when the slot
 // was empty). A nil ix removes the kind from the store. In-flight
 // queries keep the index they already resolved; new queries see the
-// replacement immediately.
+// replacement immediately. Like Replace, Swap serializes against an
+// in-flight Ingest: it blocks until the ingest's refreshed set is
+// installed, then applies on top — never silently undone by it.
 func (s *Store) Swap(kind Kind, ix *PatternIndex) (*PatternIndex, error) {
 	i, err := slot(kind)
 	if err != nil {
@@ -82,14 +129,14 @@ func (s *Store) Swap(kind Kind, ix *PatternIndex) (*PatternIndex, error) {
 			return nil, err
 		}
 	}
-	for {
-		old := s.indexes.Load()
-		next := *old
-		next[i] = ix
-		if s.indexes.CompareAndSwap(old, &next) {
-			return old[i], nil
-		}
-	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	old := s.indexes.Load()
+	next := *old
+	next[i] = ix
+	s.indexes.Store(&next)
+	s.gen.Add(1)
+	return old[i], nil
 }
 
 // Replace atomically replaces the whole resident set with the given
@@ -97,8 +144,18 @@ func (s *Store) Swap(kind Kind, ix *PatternIndex) (*PatternIndex, error) {
 // complete old set or the complete new set, never one kind from each.
 // Kinds absent from ixs become non-resident. Two indexes of the same
 // kind, a foreign-collection index, or a nil entry is an error, and on
-// any error the store is left untouched.
+// any error the store is left untouched. Replace and Ingest serialize
+// against each other: a Replace issued during an in-flight Ingest
+// blocks until the ingest's refreshed set is installed, then supersedes
+// it — never the silent reverse.
 func (s *Store) Replace(ixs ...*PatternIndex) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return s.replaceLocked(ixs...)
+}
+
+// replaceLocked is Replace's body; callers hold writeMu.
+func (s *Store) replaceLocked(ixs ...*PatternIndex) error {
 	var next [3]*PatternIndex
 	for _, ix := range ixs {
 		if ix == nil {
@@ -118,6 +175,7 @@ func (s *Store) Replace(ixs ...*PatternIndex) error {
 		next[i] = ix
 	}
 	s.indexes.Store(&next)
+	s.gen.Add(1)
 	return nil
 }
 
@@ -238,6 +296,155 @@ func (s *Store) Query(ctx context.Context, q Query) (ResultPage, error) {
 	return ResultPage{Hits: out, More: more}, nil
 }
 
+// IngestResult reports one applied ingest batch.
+type IngestResult struct {
+	// Generation is the store generation after the batch was installed —
+	// the cache-busting token: any response observed under an older
+	// generation predates this batch.
+	Generation uint64
+	// Docs is the number of documents appended.
+	Docs int
+	// DirtyTerms is the number of distinct terms whose pattern streams
+	// the batch changed — exactly the terms that were re-mined.
+	DirtyTerms int
+}
+
+// ErrIngestIncomplete wraps errors from the back half of Ingest: the
+// batch WAS appended to the collection, but the index refresh did not
+// complete (e.g. the context was cancelled mid-re-mine). The documents
+// are never lost — the store remembers their dirty terms and the next
+// Ingest (even of an empty batch) re-mines them — but the resident
+// indexes are stale for those terms until it runs. Callers must not
+// re-submit the same documents after this error.
+var ErrIngestIncomplete = errors.New("stburst: ingest appended documents but the index refresh is incomplete; a later Ingest repairs it")
+
+// Ingest is the live write path: it appends a batch of freshly arrived
+// documents to the collection and incrementally refreshes every resident
+// index — only the dirty terms (those whose frequency surfaces the batch
+// changed, including brand-new terms) are re-mined, per resident kind,
+// on one shared worker pool. The refreshed indexes are warmed and then
+// installed with the same atomic install a reload uses, so concurrent
+// queries never block and never observe a torn resident set; the
+// refreshed indexes are bit-identical to a from-scratch MineStore over
+// the appended collection (the per-term miners are independent, and the
+// oracle tests assert fingerprint equality for every kind).
+//
+// Re-mining uses the options recorded by Collection.MineStore or
+// SetMineOptions — they must match the resident indexes' original mining
+// options for the refresh to be exact. Ingest calls serialize, and
+// Replace serializes against an in-flight Ingest (see Replace).
+//
+// Failure semantics: an error before the append (cancelled context,
+// invalid batch) leaves the store and collection untouched, and the
+// batch may be retried verbatim. An error after the append wraps
+// ErrIngestIncomplete: the documents are already in the collection —
+// never re-submit them — and their dirty terms are remembered and
+// re-mined by the next Ingest, so an aborted refresh can only delay
+// freshness, never corrupt it. On a store with no resident indexes,
+// Ingest just appends and bumps the generation.
+func (s *Store) Ingest(ctx context.Context, docs []IncomingDocument) (IngestResult, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return IngestResult{}, err
+	}
+	// The resident set is read under writeMu: these indexes describe the
+	// pre-append corpus, their clean terms carry over unchanged, and no
+	// Replace can land between here and the install below.
+	resident := s.indexes.Load()
+	_, dirty, err := s.c.appendDocs(docs)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	// Fold in dirty terms a previously aborted refresh left stale; they
+	// are cleared only once an install succeeds.
+	if len(s.staleDirty) > 0 {
+		merged := make(map[int]struct{}, len(s.staleDirty)+len(dirty))
+		for t := range s.staleDirty {
+			merged[t] = struct{}{}
+		}
+		for _, t := range dirty {
+			merged[t] = struct{}{}
+		}
+		dirty = make([]int, 0, len(merged))
+		for t := range merged {
+			dirty = append(dirty, t)
+		}
+	}
+	if len(dirty) == 0 {
+		// Nothing to re-mine (e.g. every document tokenized to nothing,
+		// and no repair owed): the resident indexes are already exact,
+		// so skip the refresh — rebuilding and warming engines for
+		// bit-identical content is reload-scale work for nothing. The
+		// generation still advances when documents were appended (the
+		// corpus changed), but not for a pure no-op call.
+		gen := s.Generation()
+		if len(docs) > 0 {
+			gen = s.gen.Add(1)
+		}
+		return IngestResult{Generation: gen, Docs: len(docs)}, nil
+	}
+	rememberStale := func() {
+		if s.staleDirty == nil {
+			s.staleDirty = make(map[int]struct{}, len(dirty))
+		}
+		for _, t := range dirty {
+			s.staleDirty[t] = struct{}{}
+		}
+	}
+	opts := s.mineOpts.Load()
+	if opts == nil {
+		opts = &MineOptions{}
+	}
+
+	var (
+		prevW map[int][]core.Window
+		prevC map[int][]core.CombPattern
+		prevT map[int][]burst.Interval
+	)
+	if ix := resident[int(KindRegional)-1]; ix != nil {
+		prevW = ix.set.AllWindows()
+	}
+	if ix := resident[int(KindCombinatorial)-1]; ix != nil {
+		prevC = ix.set.AllCombs()
+	}
+	if ix := resident[int(KindTemporal)-1]; ix != nil {
+		prevT = ix.set.AllTemporal()
+	}
+	if prevW == nil && prevC == nil && prevT == nil {
+		// Nothing resident to refresh: the append alone is the mutation.
+		s.staleDirty = nil
+		return IngestResult{Generation: s.gen.Add(1), Docs: len(docs), DirtyTerms: len(dirty)}, nil
+	}
+
+	w, cb, tp, err := search.RemineDirtyParCtx(ctx, s.c.col, dirty,
+		prevW, prevC, prevT,
+		opts.Regional.coreOptions(), opts.Combinatorial.coreOptions(), nil, opts.Parallelism)
+	if err != nil {
+		rememberStale()
+		return IngestResult{}, fmt.Errorf("%w: %w", ErrIngestIncomplete, err)
+	}
+	var fresh []*PatternIndex
+	if w != nil {
+		fresh = append(fresh, &PatternIndex{c: s.c, set: index.NewWindowSet(w)})
+	}
+	if cb != nil {
+		fresh = append(fresh, &PatternIndex{c: s.c, set: index.NewCombSet(cb)})
+	}
+	if tp != nil {
+		fresh = append(fresh, &PatternIndex{c: s.c, set: index.NewTemporalSet(tp)})
+	}
+	for _, ix := range fresh {
+		ix.Engine() // warm before the swap: no query pays the build
+	}
+	if err := s.replaceLocked(fresh...); err != nil {
+		rememberStale()
+		return IngestResult{}, fmt.Errorf("%w: %w", ErrIngestIncomplete, err)
+	}
+	s.staleDirty = nil
+	return IngestResult{Generation: s.Generation(), Docs: len(docs), DirtyTerms: len(dirty)}, nil
+}
+
 // residentSets returns the pattern sets of the resident indexes in
 // canonical kind order — the bundle member order.
 func (s *Store) residentSets() ([]*index.PatternSet, error) {
@@ -258,25 +465,34 @@ func (s *Store) residentSets() ([]*index.PatternSet, error) {
 // manifest listing each member's kind, byte length and canonical
 // fingerprint, followed by the members as ordinary snapshot streams and
 // a stream checksum over the whole file (see DESIGN.md for the layout).
-// LoadStore verifies all of it on the way back in. An empty store
-// cannot be saved.
+// The store's current Generation is recorded in the v2 header and
+// restored by LoadStore. LoadStore verifies all of it on the way back
+// in. An empty store cannot be saved. Save serializes against writers
+// (Swap/Replace/Ingest), so the recorded generation always matches the
+// serialized indexes — never one mutation's number on another's data.
 func (s *Store) Save(w io.Writer) error {
+	s.writeMu.Lock()
 	sets, err := s.residentSets()
+	gen := s.Generation()
+	s.writeMu.Unlock()
 	if err != nil {
 		return err
 	}
-	return index.WriteBundle(w, sets, s.c.col.Dict().Term)
+	return index.WriteBundle(w, sets, s.c.col.Dict().Term, gen)
 }
 
 // SaveFile saves the store as a bundle file, atomically: the bundle is
 // written to a temp file in the destination directory and renamed over
 // the target, so an interrupted save never leaves a truncated file.
 func (s *Store) SaveFile(path string) error {
+	s.writeMu.Lock()
 	sets, err := s.residentSets()
+	gen := s.Generation()
+	s.writeMu.Unlock()
 	if err != nil {
 		return err
 	}
-	return index.WriteBundleFile(path, sets, s.c.col.Dict().Term)
+	return index.WriteBundleFile(path, sets, s.c.col.Dict().Term, gen)
 }
 
 // LoadStore reads a store from r and attaches it to a collection
@@ -291,7 +507,7 @@ func (s *Store) SaveFile(path string) error {
 // collection. Any failure is an error; no partially loaded store is
 // returned.
 func LoadStore(r io.Reader, c *Collection) (*Store, error) {
-	snaps, err := index.ReadStore(r)
+	snaps, gen, err := index.ReadStore(r)
 	if err != nil {
 		return nil, fmt.Errorf("stburst: loading store: %w", err)
 	}
@@ -307,5 +523,9 @@ func LoadStore(r io.Reader, c *Collection) (*Store, error) {
 	if err := s.Replace(ixs...); err != nil {
 		return nil, fmt.Errorf("stburst: loading store: %w", err)
 	}
+	// Resume the saved store's generation sequence (a version-1 artifact
+	// predates generations and resumes from 0); the Replace above only
+	// counts as a mutation within this process.
+	s.gen.Store(gen)
 	return s, nil
 }

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"stburst/internal/search"
 )
 
 // fullStore mines every kind into a store over the collection.
@@ -237,6 +239,34 @@ func TestStoreQueryAnyMergeBruteForce(t *testing.T) {
 	}
 }
 
+// TestStoreQueryOffsetPastEnd is the public-surface regression test for
+// the pathological page: an Offset past the last hit — for a concrete
+// kind and for the KindAny fan-out, filtered or not — answers an empty
+// page with More=false in at most one retrieval round per consulted
+// index, instead of grinding the progressive fetch-doubling to MaxK.
+func TestStoreQueryOffsetPastEnd(t *testing.T) {
+	c := twoBurstCollection(t)
+	s := fullStore(t, c)
+	for _, q := range []Query{
+		{Text: "earthquake", K: 10, Offset: MaxK, Kind: KindRegional},
+		{Text: "earthquake", K: 10, Offset: MaxK},
+		{Text: "earthquake", K: 10, Offset: MaxK, Region: &andesRegion},
+		{Text: "earthquake rescue", K: 5, Offset: MaxK / 2, Time: &japanTime},
+	} {
+		before := search.FetchRounds()
+		page, err := s.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("query %+v: %v", q, err)
+		}
+		if len(page.Hits) != 0 || page.More {
+			t.Errorf("query %+v: page = %d hits, more=%v; want empty, false", q, len(page.Hits), page.More)
+		}
+		if rounds := search.FetchRounds() - before; rounds > 3 {
+			t.Errorf("query %+v: %d fetch rounds, want at most one per resident index", q, rounds)
+		}
+	}
+}
+
 func TestStoreQueryNotResident(t *testing.T) {
 	c := twoBurstCollection(t)
 	s := NewStore(c)
@@ -366,6 +396,97 @@ func TestStoreHotSwapUnderQueries(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestConcurrentIngestQueryReplace extends the hot-swap hammer with a
+// live writer: queries and pattern listings run nonstop while one
+// goroutine ingests document batches (append + dirty-term re-mine +
+// atomic Replace) and another swaps and replaces indexes
+// administratively. Under -race this is the torn-read detector for the
+// whole write path: the copy-on-write collection append, the shared
+// clean-term pattern slices, and the atomic resident-set installs.
+func TestConcurrentIngestQueryReplace(t *testing.T) {
+	c := twoBurstCollection(t)
+	s := fullStore(t, c)
+	ixs := mineKinds(t, c)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				page, err := s.Query(context.Background(), Query{Text: "earthquake volcano", K: 20})
+				if err != nil {
+					// The two-term query needs "volcano", which only exists
+					// after the first ingest; an empty page is fine, an
+					// error is not.
+					t.Errorf("query during ingest: %v", err)
+					return
+				}
+				for _, h := range page.Hits {
+					if _, ok := h.Kind.patternKind(); !ok {
+						t.Errorf("hit attributed to non-concrete kind %v", h.Kind)
+						return
+					}
+				}
+				if _, err := s.Query(context.Background(), Query{Text: "earthquake", K: 10, Region: &andesRegion}); err != nil {
+					t.Errorf("filtered query during ingest: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// The administrative writer: swaps one kind back and forth and
+	// occasionally replaces the whole set, racing the ingest writer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.Swap(KindRegional, ixs[KindRegional]); err != nil {
+				t.Errorf("swap during ingest: %v", err)
+				return
+			}
+			if i%5 == 0 {
+				if err := s.Replace(ixs[KindRegional], ixs[KindCombinatorial], ixs[KindTemporal]); err != nil {
+					t.Errorf("replace during ingest: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	lastGen := s.Generation()
+	for i := 0; i < 12; i++ {
+		res, err := s.Ingest(context.Background(), []IncomingDocument{
+			{Stream: i % c.NumStreams(), Time: (7 + i) % c.Timeline(), Text: "earthquake volcano wave"},
+			{Stream: (i + 1) % c.NumStreams(), Time: (3 + i) % c.Timeline(), Text: "volcano plume drifting"},
+		})
+		if err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+		if res.Generation <= lastGen {
+			t.Fatalf("ingest %d: generation %d did not advance past %d", i, res.Generation, lastGen)
+		}
+		lastGen = res.Generation
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := c.NumDocs(); got != twoBurstCollection(t).NumDocs()+24 {
+		t.Errorf("collection holds %d docs after 12 ingests of 2", got)
+	}
 }
 
 // TestStoreSaveLoadRoundTrip: a bundle round-trips every resident index
