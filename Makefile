@@ -11,13 +11,17 @@
 #   make snapshot    # stgen a corpus (if missing) and stmine it into $(SNAPSHOT)
 #   make bundle      # stmine all three kinds into $(BUNDLE)
 #   make serve       # stserve the bundle on $(ADDR)
+#   make load        # boot stserve on the bundle and drive $(LOAD_ARGS) at it
+#   make loadtest    # the in-process stload smoke (what CI runs)
 
 GO ?= go
 CORPUS ?= corpus.jsonl
 SNAPSHOT ?= snapshot.stb
 BUNDLE ?= corpus.bundle
 ADDR ?= :8080
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR6.json
+LOAD_ADDR ?= 127.0.0.1:8093
+LOAD_ARGS ?= -duration 10s -concurrency 8 -write-fraction 0.1
 BENCH_TIME ?= 1s
 # The serving-path benchmarks: retrieval (plain, filtered, store-routed,
 # KindAny fan-out), mining (per-kind batch, one-pass MineStore), and the
@@ -33,7 +37,7 @@ BENCH_SMOKE_PATTERN ?= BenchmarkQuery|BenchmarkStoreQuery|BenchmarkIngest
 # runs treat as up to date.
 .DELETE_ON_ERROR:
 
-.PHONY: all build vet test test-short race bench bench-json bench-smoke verify snapshot bundle serve
+.PHONY: all build vet test test-short race bench bench-json bench-smoke verify snapshot bundle serve load loadtest
 
 all: build test
 
@@ -52,7 +56,7 @@ test-short: build
 race: build
 	$(GO) test -race -short ./...
 	$(GO) test -race -run 'TestMineAll|TestConcurrent|TestSearchAnswers|TestPatternIndex|TestLoaded|TestIngest|TestAppend' .
-	$(GO) test -race ./cmd/stserve/
+	$(GO) test -race ./internal/serve/ ./internal/metrics/
 
 bench: build
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -85,3 +89,26 @@ bundle: $(BUNDLE)
 
 serve: $(BUNDLE)
 	$(GO) run ./cmd/stserve -corpus $(CORPUS) -snapshot $(BUNDLE) -addr $(ADDR)
+
+# Boot stserve (with ingestion armed) on the bundle, aim stload at it,
+# print the JSON report, and tear the server down. LOAD_ARGS tunes the
+# run; LOAD_ADDR keeps it off the default serving port.
+load: $(BUNDLE)
+	$(GO) build -o bin/stserve ./cmd/stserve
+	$(GO) build -o bin/stload ./cmd/stload
+	@set -e; \
+	./bin/stserve -corpus $(CORPUS) -snapshot $(BUNDLE) -addr $(LOAD_ADDR) -ingest & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 100); do \
+		curl -sf http://$(LOAD_ADDR)/v1/healthz > /dev/null 2>&1 && break; sleep 0.3; \
+	done; \
+	./bin/stload -target http://$(LOAD_ADDR) $(LOAD_ARGS); \
+	echo "--- /metrics after the run ---"; \
+	curl -sf http://$(LOAD_ADDR)/metrics | grep '^stserve_http_requests_total'
+
+# The in-process load smoke CI runs: boots the real serve handler on a
+# generated corpus inside the test binary and asserts the stload report
+# parses with zero transport errors and server-matching counters — no
+# ports, no background processes, race detector on.
+loadtest: build
+	$(GO) test -race -count=1 -run 'TestFlagValidation|TestReportRoundTrip|TestSmokeMixedLoad' ./cmd/stload/

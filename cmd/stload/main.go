@@ -1,0 +1,385 @@
+// Command stload drives mixed read/write traffic against a live stserve
+// and reports per-route latency distributions — the load half of the
+// serving harness (stserve's /metrics is the other half: after a run,
+// the server's request counters must equal the report's sent totals).
+//
+// Usage:
+//
+//	stserve -corpus corpus.jsonl -snapshot corpus.bundle -ingest &
+//	stload -target http://localhost:8080 -duration 30s -concurrency 16
+//	stload -target http://localhost:8080 -requests 10000 -seed 1 -o report.json
+//
+// The workload is synthesized from the same world model that generates
+// topix corpora: zipf term queries over the background vocabulary and
+// the Major Events' query terms, regional hotspot queries aimed at
+// event epicenters through the corpus's own seed-1 MDS projection,
+// pattern and stats lookups, and — when -write-fraction is non-zero —
+// ingest bursts of synthesized articles (requires a server started with
+// -ingest, and assumes a topix corpus so the country stream names
+// resolve).
+//
+// Every request is a pure function of (-seed, op index): a fixed
+// -requests run sends exactly the same request set every time, no
+// matter the concurrency, and stamps an order-independent trace
+// fingerprint into the report to prove it. -duration runs instead send
+// as many ops as fit the wall clock.
+//
+// Two dispatch modes: closed-loop by default (-concurrency workers,
+// each sending the next op as soon as its previous response lands — the
+// throughput-probing mode), or open-loop with -rate R (ops dispatched
+// on a fixed schedule regardless of response latency — the
+// latency-under-offered-load mode, immune to coordinated omission).
+//
+// The JSON report (stdout, or -o) carries config, the workload
+// composition, error counts, and per-route p50/p90/p99/p999 latencies.
+// Exit status: 0 on a clean run, 1 when any transport error occurred
+// (HTTP error statuses are recorded in the report but are the
+// workload's business — a 404 pattern lookup is a valid answer), 2 on
+// flag errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stburst/internal/metrics"
+)
+
+type config struct {
+	target        string
+	seed          int64
+	requests      int
+	duration      time.Duration
+	concurrency   int
+	rate          float64
+	writeFraction float64
+	vocab         int
+	timeline      int
+	out           string
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	cfg, err := parseFlags(args, stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			return 2
+		}
+		fmt.Fprintf(stderr, "stload: %v\n", err)
+		return 2
+	}
+
+	w, err := newWorkload(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "stload: %v\n", err)
+		return 1
+	}
+
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.concurrency * 2,
+			MaxIdleConnsPerHost: cfg.concurrency * 2,
+		},
+	}
+	if err := healthcheck(client, cfg.target); err != nil {
+		fmt.Fprintf(stderr, "stload: %v\n", err)
+		return 1
+	}
+
+	res := execute(client, cfg, w)
+
+	rep := buildReport(cfg, res)
+	enc, err := marshalReport(rep)
+	if err != nil {
+		fmt.Fprintf(stderr, "stload: encoding report: %v\n", err)
+		return 1
+	}
+	outw := stdout
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			fmt.Fprintf(stderr, "stload: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		outw = f
+	}
+	if _, err := outw.Write(enc); err != nil {
+		fmt.Fprintf(stderr, "stload: writing report: %v\n", err)
+		return 1
+	}
+
+	if rep.Outcome.TransportErrors > 0 {
+		fmt.Fprintf(stderr, "stload: %d transport errors\n", rep.Outcome.TransportErrors)
+		return 1
+	}
+	return 0
+}
+
+func parseFlags(args []string, stderr io.Writer) (config, error) {
+	var cfg config
+	fs := flag.NewFlagSet("stload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&cfg.target, "target", "", "base URL of the stserve under load (required)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "workload seed: fixed seed + fixed -requests = identical request set")
+	fs.IntVar(&cfg.requests, "requests", 0, "send exactly this many requests (mutually exclusive with -duration)")
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "run for this long (ignored when -requests is set)")
+	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop worker count (and open-loop in-flight cap)")
+	fs.Float64Var(&cfg.rate, "rate", 0, "open-loop dispatch rate in requests/sec (0 = closed loop)")
+	fs.Float64Var(&cfg.writeFraction, "write-fraction", 0, "fraction of ops that are ingest bursts (server must run -ingest)")
+	fs.IntVar(&cfg.vocab, "vocab", 6000, "background vocabulary size of the corpus under load")
+	fs.IntVar(&cfg.timeline, "timeline", 48, "timeline length of the corpus under load")
+	fs.StringVar(&cfg.out, "o", "", "write the JSON report here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	fail := func(format string, a ...any) (config, error) {
+		fs.Usage()
+		return cfg, fmt.Errorf(format, a...)
+	}
+	if cfg.target == "" {
+		return fail("-target is required")
+	}
+	if cfg.requests < 0 {
+		return fail("-requests must be non-negative, got %d", cfg.requests)
+	}
+	durationSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "duration" {
+			durationSet = true
+		}
+	})
+	if cfg.requests > 0 && durationSet {
+		return fail("-requests and -duration are mutually exclusive")
+	}
+	if cfg.requests == 0 && cfg.duration <= 0 {
+		return fail("-duration must be positive, got %v", cfg.duration)
+	}
+	if cfg.concurrency < 1 {
+		return fail("-concurrency must be at least 1, got %d", cfg.concurrency)
+	}
+	if cfg.rate < 0 {
+		return fail("-rate must be non-negative, got %v", cfg.rate)
+	}
+	if cfg.writeFraction < 0 || cfg.writeFraction > 1 {
+		return fail("-write-fraction must be in [0, 1], got %v", cfg.writeFraction)
+	}
+	if cfg.vocab < 2 {
+		return fail("-vocab must be at least 2, got %d", cfg.vocab)
+	}
+	if cfg.timeline < 1 {
+		return fail("-timeline must be at least 1, got %d", cfg.timeline)
+	}
+	return cfg, nil
+}
+
+func healthcheck(client *http.Client, target string) error {
+	resp, err := client.Get(target + "/v1/healthz")
+	if err != nil {
+		return fmt.Errorf("target unreachable: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("target unhealthy: GET /v1/healthz = %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// routeTally accumulates one route's results. All fields are atomics —
+// workers never share locks on the hot path (the histogram is the same
+// allocation-free type stserve records into).
+type routeTally struct {
+	sent      atomic.Int64
+	transport atomic.Int64
+	byClass   [5]atomic.Int64
+	hist      *metrics.Histogram
+}
+
+type runResult struct {
+	stats   map[string]*routeTally
+	trace   atomic.Uint64 // order-independent fingerprint accumulator
+	docs    atomic.Int64
+	ops     atomic.Int64
+	elapsed time.Duration
+}
+
+func newRunResult() *runResult {
+	res := &runResult{stats: make(map[string]*routeTally, len(allRoutes))}
+	for _, r := range allRoutes {
+		res.stats[r] = &routeTally{hist: metrics.NewHistogram(r, metrics.DefLatencyBuckets)}
+	}
+	return res
+}
+
+// execute dispatches the run: closed loop (workers claim op indexes off
+// a shared counter and block on their own responses) or, with -rate,
+// open loop (a ticker dispatches on schedule into a bounded in-flight
+// pool, so a slow server cannot slow the offered load).
+func execute(client *http.Client, cfg config, w *workload) *runResult {
+	res := newRunResult()
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	stop := func(i uint64) bool {
+		if cfg.requests > 0 {
+			return i >= uint64(cfg.requests)
+		}
+		return time.Now().After(deadline)
+	}
+
+	if cfg.rate > 0 {
+		interval := time.Duration(float64(time.Second) / cfg.rate)
+		sem := make(chan struct{}, cfg.concurrency)
+		var wg sync.WaitGroup
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for i := uint64(0); !stop(i); i++ {
+			<-tick.C
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i uint64) {
+				defer func() { <-sem; wg.Done() }()
+				doOp(client, cfg.target, w.op(i), res)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		var next atomic.Uint64
+		var wg sync.WaitGroup
+		for g := 0; g < cfg.concurrency; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if stop(i) {
+						return
+					}
+					doOp(client, cfg.target, w.op(i), res)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	res.elapsed = time.Since(start)
+	return res
+}
+
+func doOp(client *http.Client, target string, o op, res *runResult) {
+	st := res.stats[o.route]
+	st.sent.Add(1)
+	res.ops.Add(1)
+	res.docs.Add(int64(o.docs))
+	// XOR-sum of scrambled op hashes: commutative, so racing workers
+	// produce the same fingerprint for the same request set.
+	res.trace.Add(o.hash())
+
+	var body io.Reader
+	if o.body != nil {
+		body = bytes.NewReader(o.body)
+	}
+	req, err := http.NewRequest(o.method, target+o.path, body)
+	if err != nil {
+		st.transport.Add(1)
+		return
+	}
+	if o.body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	elapsed := time.Since(t0).Seconds()
+	if err != nil {
+		st.transport.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	st.hist.Observe(elapsed)
+	if cls := resp.StatusCode/100 - 1; cls >= 0 && cls < len(st.byClass) {
+		st.byClass[cls].Add(1)
+	}
+}
+
+func marshalReport(rep report) ([]byte, error) {
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(enc, '\n'), nil
+}
+
+func buildReport(cfg config, res *runResult) report {
+	rep := report{
+		Config: reportConfig{
+			Target:        cfg.target,
+			Seed:          cfg.seed,
+			Requests:      cfg.requests,
+			Concurrency:   cfg.concurrency,
+			Rate:          cfg.rate,
+			WriteFraction: cfg.writeFraction,
+			Vocab:         cfg.vocab,
+			Timeline:      cfg.timeline,
+		},
+		Workload: reportWorkload{
+			Ops:              int(res.ops.Load()),
+			OpsByRoute:       make(map[string]int),
+			DocsSent:         int(res.docs.Load()),
+			TraceFingerprint: fmt.Sprintf("%016x", res.trace.Load()),
+		},
+		Outcome: reportOutcome{StatusByClass: make(map[string]int)},
+		Timing: reportTiming{
+			ElapsedSeconds: res.elapsed.Seconds(),
+			Routes:         make(map[string]routeLatency),
+		},
+	}
+	if cfg.requests == 0 {
+		rep.Config.Duration = cfg.duration.String()
+	}
+	classes := [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+	for _, route := range allRoutes {
+		st := res.stats[route]
+		sent := int(st.sent.Load())
+		if sent == 0 {
+			continue
+		}
+		rep.Workload.OpsByRoute[route] = sent
+		rep.Outcome.TransportErrors += int(st.transport.Load())
+		for i, class := range classes {
+			if n := int(st.byClass[i].Load()); n > 0 {
+				rep.Outcome.StatusByClass[class] += n
+			}
+		}
+		h := st.hist
+		if h.Count() == 0 {
+			// Every attempt failed in transport: quantiles would be NaN,
+			// which JSON cannot carry.
+			continue
+		}
+		rep.Timing.Routes[route] = routeLatency{
+			Count:  int(h.Count()),
+			MeanMs: h.Mean() * 1e3,
+			P50Ms:  h.Quantile(0.50) * 1e3,
+			P90Ms:  h.Quantile(0.90) * 1e3,
+			P99Ms:  h.Quantile(0.99) * 1e3,
+			P999Ms: h.Quantile(0.999) * 1e3,
+			MaxMs:  h.Max() * 1e3,
+		}
+	}
+	if s := res.elapsed.Seconds(); s > 0 {
+		rep.Timing.QPS = float64(res.ops.Load()) / s
+	}
+	return rep
+}

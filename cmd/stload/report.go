@@ -1,0 +1,56 @@
+package main
+
+// The report schema. Sections split by reproducibility: config and
+// workload are pure functions of the flags for a fixed -requests run
+// (the trace fingerprint is an order-independent combine over every
+// request actually sent, so racing workers don't perturb it); outcome
+// depends on the server's responses; timing is wall-clock and never
+// comparable across runs. Tests zero the timing section (and the
+// target, which carries an ephemeral port) before comparing reports
+// byte for byte.
+type report struct {
+	Config   reportConfig   `json:"config"`
+	Workload reportWorkload `json:"workload"`
+	Outcome  reportOutcome  `json:"outcome"`
+	Timing   reportTiming   `json:"timing"`
+}
+
+type reportConfig struct {
+	Target        string  `json:"target"`
+	Seed          int64   `json:"seed"`
+	Requests      int     `json:"requests,omitempty"`
+	Duration      string  `json:"duration,omitempty"`
+	Concurrency   int     `json:"concurrency"`
+	Rate          float64 `json:"rate,omitempty"`
+	WriteFraction float64 `json:"write_fraction"`
+	Vocab         int     `json:"vocab"`
+	Timeline      int     `json:"timeline"`
+}
+
+type reportWorkload struct {
+	Ops              int            `json:"ops"`
+	OpsByRoute       map[string]int `json:"ops_by_route"`
+	DocsSent         int            `json:"docs_sent"`
+	TraceFingerprint string         `json:"trace_fingerprint"`
+}
+
+type reportOutcome struct {
+	TransportErrors int            `json:"transport_errors"`
+	StatusByClass   map[string]int `json:"status_by_class"`
+}
+
+type reportTiming struct {
+	ElapsedSeconds float64                 `json:"elapsed_seconds"`
+	QPS            float64                 `json:"qps"`
+	Routes         map[string]routeLatency `json:"routes"`
+}
+
+type routeLatency struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}

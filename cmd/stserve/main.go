@@ -41,6 +41,9 @@
 //	GET  /v1/stats           index size, fingerprint, generation, pending
 //	                         ingest depth, uptime, traffic counters
 //	GET  /v1/healthz         liveness probe
+//	GET  /metrics            Prometheus text exposition: per-route request
+//	                         counters and latency histograms, in-flight
+//	                         gauge, store generation and ingest depth
 //
 // The pre-/v1 routes (GET /healthz, /stats, /patterns/{term},
 // /search?q=&k=) remain as aliases: /search keeps its exact original
@@ -63,6 +66,12 @@
 // reverts to the snapshot's indexes (the appended documents survive in
 // memory) until the process is restarted or the file is re-mined.
 //
+// -debug-addr starts a second listener with net/http/pprof under
+// /debug/pprof/ (plus another /metrics exposition). Profiling never
+// shares the serving listener: the /v1 surface is unauthenticated, and a
+// CPU profile pins the process for seconds — operators opt in on a
+// loopback or firewalled port instead.
+//
 // stserve shuts down gracefully: SIGINT or SIGTERM stops accepting new
 // connections and drains in-flight requests before exiting.
 package main
@@ -79,11 +88,13 @@ import (
 	"time"
 
 	"stburst"
+	"stburst/internal/serve"
 )
 
 func main() {
 	var (
 		addr           = flag.String("addr", ":8080", "listen address")
+		debugAddr      = flag.String("debug-addr", "", "optional second listener with /debug/pprof/ and /metrics (keep it loopback or firewalled)")
 		corpus         = flag.String("corpus", "", "JSONL corpus path (required)")
 		snapshot       = flag.String("snapshot", "", "pattern snapshot or bundle path (loaded if present, written after mining otherwise)")
 		method         = flag.String("method", "stlocal", "miner when no snapshot exists: stlocal, stcomb, tb or all")
@@ -125,7 +136,7 @@ func main() {
 	}
 	log.Printf("search engines built in %v", time.Since(start).Round(time.Millisecond))
 
-	handler := newServer(c, store, *snapshot)
+	handler := serve.New(c, store, *snapshot)
 	var ing *stburst.Ingester
 	if *ingest {
 		// Re-mine dirty terms with the same worker budget mining used;
@@ -147,8 +158,22 @@ func main() {
 			opts = append(opts, stburst.WithFlushInterval(*ingestInterval))
 		}
 		ing = stburst.NewIngester(store, opts...)
-		handler.enableIngest(ing)
+		handler.EnableIngest(ing)
 		log.Printf("live ingestion enabled (batch %d, interval %v)", *ingestBatch, *ingestInterval)
+	}
+
+	if *debugAddr != "" {
+		// pprof gets its own listener so profiling can be bound to
+		// loopback while queries stay public; a failure here is fatal —
+		// an operator who asked for profiling must not silently run
+		// without it.
+		dbg := &http.Server{Addr: *debugAddr, Handler: handler.DebugHandler()}
+		go func() {
+			log.Printf("debug listener (pprof, /metrics) on %s", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatalf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	log.Printf("listening on %s", *addr)
@@ -163,7 +188,7 @@ func main() {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
-	err = serve(srv)
+	err = listenAndDrain(srv)
 	if ing != nil {
 		// Drain whatever the batcher still buffers: a rolling restart
 		// must not drop accepted documents.
@@ -176,11 +201,11 @@ func main() {
 	}
 }
 
-// serve runs the HTTP server until it fails or the process receives
-// SIGINT/SIGTERM, in which case the listener closes immediately and
-// in-flight requests are drained (bounded by a timeout) before exiting —
-// a rolling restart never kills a query mid-response.
-func serve(srv *http.Server) error {
+// listenAndDrain runs the HTTP server until it fails or the process
+// receives SIGINT/SIGTERM, in which case the listener closes immediately
+// and in-flight requests are drained (bounded by a timeout) before
+// exiting — a rolling restart never kills a query mid-response.
+func listenAndDrain(srv *http.Server) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

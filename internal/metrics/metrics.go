@@ -1,0 +1,458 @@
+// Package metrics is a minimal, dependency-free instrumentation layer
+// for the serving and load-generation binaries: counters, gauges and
+// fixed-bucket latency histograms collected in a Registry and exposed in
+// the Prometheus text format.
+//
+// The package exists because stserve's hot path answers queries in
+// microseconds: recording a request must not allocate, must not take a
+// lock, and must scale across cores. Every write operation (Counter.Add,
+// Gauge.Set, Histogram.Observe) is therefore a handful of atomic
+// operations on pre-allocated state — instruments are created once at
+// wiring time and only read locks ever appear on the scrape path.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to an instrument. Labels are
+// ordered: they render in exactly the order given at construction, so
+// exposition output is byte-deterministic.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// instrument is the common identity of every metric: a family name, a
+// help string (shared across the family) and an ordered label set.
+type instrument struct {
+	name   string
+	help   string
+	labels []Label
+}
+
+func (m *instrument) Name() string { return m.name }
+
+// suffixed renders name{labels} with extra labels appended (used for
+// histogram bucket "le" labels).
+func (m *instrument) series(w *strings.Builder, suffix string, extra ...Label) {
+	w.WriteString(m.name)
+	w.WriteString(suffix)
+	if len(m.labels)+len(extra) == 0 {
+		return
+	}
+	w.WriteByte('{')
+	first := true
+	for _, l := range m.labels {
+		if !first {
+			w.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(w, "%s=%q", l.Name, l.Value)
+	}
+	for _, l := range extra {
+		if !first {
+			w.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(w, "%s=%q", l.Name, l.Value)
+	}
+	w.WriteByte('}')
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	instrument
+	v atomic.Int64
+}
+
+// Add increments the counter by n. Negative deltas are ignored: a
+// counter only moves forward.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. The stored value is a
+// float64 kept as raw bits in an atomic word.
+type Gauge struct {
+	instrument
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (which may be negative) with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// GaugeFunc is a gauge whose value is computed at scrape time — the
+// natural shape for values the process already tracks elsewhere (store
+// generation, resident documents, uptime).
+type GaugeFunc struct {
+	instrument
+	fn func() float64
+}
+
+// Value evaluates the callback.
+func (g *GaugeFunc) Value() float64 { return g.fn() }
+
+// A Registry holds instruments and renders them in the Prometheus text
+// exposition format. Instruments are registered at wiring time;
+// registration takes a write lock, scraping a read lock, and the
+// instruments themselves are lock-free.
+type Registry struct {
+	mu      sync.RWMutex
+	ordered []renderable
+	help    map[string]string // family name -> help of first registration
+	types   map[string]string // family name -> prometheus type
+}
+
+type renderable interface {
+	Name() string
+	render(w *strings.Builder)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{help: make(map[string]string), types: make(map[string]string)}
+}
+
+func (r *Registry) register(name, typ, help string, m renderable) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.types[name]; ok && t != typ {
+		panic(fmt.Sprintf("metrics: family %q registered as both %s and %s", name, t, typ))
+	}
+	if _, ok := r.types[name]; !ok {
+		r.types[name] = typ
+		r.help[name] = help
+	}
+	r.ordered = append(r.ordered, m)
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	c := &Counter{instrument: instrument{name: name, help: help, labels: labels}}
+	r.register(name, "counter", help, c)
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{instrument: instrument{name: name, help: help, labels: labels}}
+	r.register(name, "gauge", help, g)
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is fn() at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64, labels ...Label) *GaugeFunc {
+	g := &GaugeFunc{instrument: instrument{name: name, help: help, labels: labels}, fn: fn}
+	r.register(name, "gauge", help, g)
+	return g
+}
+
+// NewHistogram registers and returns a histogram over the given bucket
+// upper bounds (ascending; a final +Inf bucket is implicit). A nil or
+// empty bounds slice uses DefLatencyBuckets.
+func (r *Registry) NewHistogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	h := newHistogram(name, help, bounds, labels...)
+	r.register(name, "histogram", help, h)
+	return h
+}
+
+// WriteText renders every registered instrument in the Prometheus text
+// exposition format (version 0.0.4): families grouped under one
+// # HELP/# TYPE pair in first-registration order, series in registration
+// order within a family.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var b strings.Builder
+	done := make(map[string]bool, len(r.types))
+	for _, lead := range r.ordered {
+		name := lead.Name()
+		if done[name] {
+			continue
+		}
+		done[name] = true
+		fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(r.help[name]))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, r.types[name])
+		for _, m := range r.ordered {
+			if m.Name() == name {
+				m.render(&b)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (c *Counter) render(w *strings.Builder) {
+	c.series(w, "")
+	fmt.Fprintf(w, " %d\n", c.Value())
+}
+
+func (g *Gauge) render(w *strings.Builder) {
+	g.series(w, "")
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(g.Value()))
+	w.WriteByte('\n')
+}
+
+func (g *GaugeFunc) render(w *strings.Builder) {
+	g.series(w, "")
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(g.Value()))
+	w.WriteByte('\n')
+}
+
+// Histogram is a fixed-bucket histogram in the Prometheus style:
+// cumulative bucket counts over static upper bounds, plus a running sum
+// and count. Observe is lock-free and allocation-free — a binary search
+// over the bounds and three atomic updates — so it can sit on a path
+// answering hundreds of thousands of requests per second.
+type Histogram struct {
+	instrument
+	bounds []float64       // ascending upper bounds; +Inf implicit last
+	counts []atomic.Uint64 // len(bounds)+1; counts[i] = observations <= bounds[i]
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	min    atomic.Uint64 // float64 bits
+	max    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("metrics: histogram bounds must be ascending")
+	}
+	bounds = append([]float64(nil), bounds...) // private copy
+	// Drop a trailing +Inf: the overflow bucket is implicit.
+	if n := len(bounds); n > 0 && math.IsInf(bounds[n-1], 1) {
+		bounds = bounds[:n-1]
+	}
+	h := &Histogram{
+		instrument: instrument{name: name, help: help, labels: labels},
+		bounds:     bounds,
+		counts:     make([]atomic.Uint64, len(bounds)+1),
+	}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// NewHistogram returns an unregistered histogram — the shape the load
+// generator uses for its own latency recording, where no exposition
+// endpoint exists and the histogram is read directly.
+func NewHistogram(name string, bounds []float64) *Histogram {
+	return newHistogram(name, "", bounds)
+}
+
+// DefLatencyBuckets are the default request-latency bucket upper bounds
+// in seconds: a roughly geometric ladder from 50µs to 10s, dense through
+// the microsecond-to-millisecond range where this system's queries live,
+// so interpolated tail quantiles stay tight.
+var DefLatencyBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v is the bucket whose "le" covers v; all later
+	// (cumulative) buckets are derived at render time.
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sum, v)
+	atomicMinFloat(&h.min, v)
+	atomicMaxFloat(&h.max, v)
+}
+
+func atomicAddFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func atomicMinFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func atomicMaxFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Min returns the smallest observation (+Inf when empty).
+func (h *Histogram) Min() float64 { return math.Float64frombits(h.min.Load()) }
+
+// Max returns the largest observation (-Inf when empty).
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.max.Load()) }
+
+// Mean returns the arithmetic mean of observations (NaN when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return math.NaN()
+	}
+	return h.Sum() / float64(n)
+}
+
+// snapshot copies the per-bucket counts. Concurrent observers may land
+// between bucket and count updates; the skew is at most the handful of
+// in-flight observations, which the Prometheus model accepts.
+func (h *Histogram) snapshot() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket holding the target rank — the same
+// estimate Prometheus's histogram_quantile computes. The error is
+// bounded by the width of that bucket; observations beyond the last
+// finite bound clamp to it (tracked Max caps the top). Returns NaN for
+// an empty histogram or q outside [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	counts := h.snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) {
+				// Overflow bucket: no finite upper bound to interpolate
+				// toward; the tracked maximum is the tightest honest cap.
+				return h.Max()
+			}
+			hi := h.bounds[i]
+			if mx := h.Max(); mx < hi {
+				hi = mx // no observation exceeds the recorded max
+			}
+			if mn := h.Min(); mn > lo {
+				lo = mn
+			}
+			if hi < lo {
+				return lo
+			}
+			return lo + (hi-lo)*((rank-cum)/float64(c))
+		}
+		cum = next
+	}
+	return h.Max()
+}
+
+// render writes the histogram's exposition series: cumulative
+// name_bucket{le="..."} lines, name_sum and name_count.
+func (h *Histogram) render(w *strings.Builder) {
+	counts := h.snapshot()
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		h.series(w, "_bucket", L("le", le))
+		fmt.Fprintf(w, " %d\n", cum)
+	}
+	h.series(w, "_sum")
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(h.Sum()))
+	w.WriteByte('\n')
+	h.series(w, "_count")
+	fmt.Fprintf(w, " %d\n", cum)
+}

@@ -1,4 +1,11 @@
-package main
+// Package serve implements the stserve HTTP layer: the versioned /v1
+// query, ingest and admin API over one collection and one multi-kind
+// pattern store, the legacy pre-/v1 aliases, and the observability
+// surface (Prometheus-text GET /metrics on the serving listener, pprof
+// on a separate debug handler). It lives under internal/ rather than in
+// cmd/stserve so the load generator's tests can boot the real server
+// in-process against a generated corpus.
+package serve
 
 import (
 	"bytes"
@@ -45,7 +52,7 @@ import (
 // The pre-/v1 routes (/healthz, /stats, /patterns/{term}, /search?q=&k=)
 // remain as aliases for existing clients; on a single-kind store they
 // behave exactly as before the store existed.
-type server struct {
+type Server struct {
 	c     *stburst.Collection
 	store *stburst.Store
 	// ing is the batching front of the write surface; nil keeps the
@@ -75,13 +82,14 @@ type server struct {
 	reloads  atomic.Int64
 	ingests  atomic.Int64 // documents accepted through POST /v1/documents
 	mux      *http.ServeMux
+	obs      *observer
 }
 
-// newServer wires the endpoint handlers. snapshotPath may be empty, in
+// New wires the endpoint handlers. snapshotPath may be empty, in
 // which case POST /v1/reload is rejected. The write surface starts
-// disabled; enableIngest arms it.
-func newServer(c *stburst.Collection, store *stburst.Store, snapshotPath string) *server {
-	s := &server{c: c, store: store, snapshotPath: snapshotPath, started: time.Now(), mux: http.NewServeMux()}
+// disabled; EnableIngest arms it.
+func New(c *stburst.Collection, store *stburst.Store, snapshotPath string) *Server {
+	s := &Server{c: c, store: store, snapshotPath: snapshotPath, started: time.Now(), mux: http.NewServeMux()}
 	s.points = make([]stburst.Point, c.NumStreams())
 	s.streamIdx = make(map[string]int, c.NumStreams())
 	for x := range s.points {
@@ -102,16 +110,21 @@ func newServer(c *stburst.Collection, store *stburst.Store, snapshotPath string)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /patterns/{term}", s.handlePatterns)
 	s.mux.HandleFunc("GET /search", s.handleSearchLegacy)
+	// Observability: the Prometheus text exposition shares the serving
+	// listener (a scrape is as cheap as a query); pprof deliberately does
+	// not — see DebugHandler.
+	s.obs = newObserver(s)
+	s.mux.HandleFunc("GET /metrics", s.obs.handleMetrics)
 	return s
 }
 
 // enableIngest arms the write surface with a batching ingester. Call
 // before serving traffic.
-func (s *server) enableIngest(ing *stburst.Ingester) { s.ing = ing }
+func (s *Server) EnableIngest(ing *stburst.Ingester) { s.ing = ing }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	s.mux.ServeHTTP(w, r)
+	s.obs.instrument(s.mux, w, r)
 }
 
 // writeJSON encodes v into a buffer before touching the ResponseWriter,
@@ -143,7 +156,7 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -157,7 +170,7 @@ type indexJSON struct {
 
 // indexes snapshots the resident set for a response, atomically: one
 // generation of the store, never a mix across a concurrent reload.
-func (s *server) indexes() []indexJSON {
+func (s *Server) indexes() []indexJSON {
 	var out []indexJSON
 	for _, ix := range s.store.Resident() {
 		out = append(out, indexJSON{
@@ -170,15 +183,15 @@ func (s *server) indexes() []indexJSON {
 	return out
 }
 
-func (s *server) handleIndexes(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"indexes": s.indexes()})
 }
 
-func (s *server) handleGeneration(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleGeneration(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"generation": s.store.Generation()})
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// One snapshot of the resident set for the whole response: a reload
 	// landing mid-handler must not leave the legacy top-level fields
 	// describing a different index generation than the indexes array.
@@ -217,7 +230,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 // checked and its search engine warmed before the swap, so a failed or
 // corrupt reload leaves the old indexes serving and a successful one
 // never exposes a cold engine to traffic.
-func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if s.snapshotPath == "" {
 		writeError(w, http.StatusConflict, "server was started without -snapshot; nothing to reload")
 		return
@@ -287,7 +300,7 @@ const maxIngestBody = 8 << 20
 // still-current generation instead. Without -ingest the route answers
 // 403: the write surface is an operator opt-in on an otherwise
 // read-only, unauthenticated service.
-func (s *server) handleDocuments(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
 	if s.ing == nil {
 		writeError(w, http.StatusForbidden, "ingestion is disabled; start stserve with -ingest")
 		return
@@ -354,7 +367,7 @@ func (s *server) handleDocuments(w http.ResponseWriter, r *http.Request) {
 
 // streamNames resolves stream indices to their names for human-readable
 // responses.
-func (s *server) streamNames(streams []int) []string {
+func (s *Server) streamNames(streams []int) []string {
 	out := make([]string, len(streams))
 	for i, x := range streams {
 		out[i] = s.c.Stream(x).Name
@@ -391,7 +404,7 @@ type patternJSON struct {
 // one-sided bound beyond the timeline is a valid (empty) range, not an
 // inversion: only an explicit from > to is rejected, matching what
 // POST /v1/search accepts in its time field.
-func (s *server) parseSpan(from, to string) (*stburst.Timespan, error) {
+func (s *Server) parseSpan(from, to string) (*stburst.Timespan, error) {
 	if from == "" && to == "" {
 		return nil, nil
 	}
@@ -430,7 +443,7 @@ func (s *server) parseSpan(from, to string) (*stburst.Timespan, error) {
 // everything). Intersection is decided by the same per-kind predicates
 // the search engine's post-filter uses (search.WindowIntersects etc.),
 // so the /v1 routes can never disagree about what "intersects" means.
-func (s *server) patternsOf(ix *stburst.PatternIndex, term string, region *stburst.Rect, span *stburst.Timespan) []patternJSON {
+func (s *Server) patternsOf(ix *stburst.PatternIndex, term string, region *stburst.Rect, span *stburst.Timespan) []patternJSON {
 	var sp *search.Timespan
 	if span != nil {
 		sp = &search.Timespan{Start: span.Start, End: span.End}
@@ -482,7 +495,7 @@ func (s *server) patternsOf(ix *stburst.PatternIndex, term string, region *stbur
 // the sole resident kind when the store holds one index (the exact
 // pre-store behavior) and to "any" — every resident kind, patterns
 // concatenated in canonical kind order — otherwise.
-func (s *server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 	term := r.PathValue("term")
 	kind := stburst.KindAny
 	if raw := r.URL.Query().Get("kind"); raw != "" {
@@ -552,7 +565,7 @@ type hitJSON struct {
 // response shared by both search routes. The request context is threaded
 // through, so a client that disconnects mid-query cancels the retrieval
 // loop.
-func (s *server) runQuery(w http.ResponseWriter, r *http.Request, q stburst.Query) {
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, q stburst.Query) {
 	s.searches.Add(1)
 	start := time.Now()
 	page, err := s.store.Query(r.Context(), q)
@@ -588,7 +601,7 @@ func (s *server) runQuery(w http.ResponseWriter, r *http.Request, q stburst.Quer
 // JSON shape — including the kind field routing the query to one
 // burstiness model or fanning it out with "any" — validated by
 // Store.Query via Query.Validate.
-func (s *server) handleSearchV1(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSearchV1(w http.ResponseWriter, r *http.Request) {
 	var q stburst.Query
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -612,7 +625,7 @@ type legacyHitJSON struct {
 // handleSearchLegacy answers the pre-/v1 GET /search?q=&k= route with the
 // original response shape. The query runs with KindAny, which on a
 // single-kind store is exactly the pre-store behavior.
-func (s *server) handleSearchLegacy(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSearchLegacy(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		writeError(w, http.StatusBadRequest, "missing query parameter q")

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"context"
@@ -72,7 +72,7 @@ func get(t *testing.T, h http.Handler, url string) (int, map[string]any) {
 
 func TestServerHealthz(t *testing.T) {
 	c := serveCollection(t)
-	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
+	s := New(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
 	code, body := get(t, s, "/healthz")
 	if code != http.StatusOK || body["status"] != "ok" {
 		t.Errorf("GET /healthz = %d %v, want 200 ok", code, body)
@@ -82,7 +82,7 @@ func TestServerHealthz(t *testing.T) {
 func TestServerStats(t *testing.T) {
 	c := serveCollection(t)
 	ix := c.MineAllRegional(nil, 0)
-	s := newServer(c, storeOf(t, c, ix), "")
+	s := New(c, storeOf(t, c, ix), "")
 	code, body := get(t, s, "/stats")
 	if code != http.StatusOK {
 		t.Fatalf("GET /stats = %d, want 200", code)
@@ -118,7 +118,7 @@ func TestServerPatterns(t *testing.T) {
 	}
 	for kind, ix := range kinds {
 		t.Run(kind, func(t *testing.T) {
-			s := newServer(c, storeOf(t, c, ix), "")
+			s := New(c, storeOf(t, c, ix), "")
 			code, body := get(t, s, "/patterns/earthquake")
 			if code != http.StatusOK {
 				t.Fatalf("GET /patterns/earthquake = %d, want 200", code)
@@ -157,7 +157,7 @@ func TestServerPatterns(t *testing.T) {
 func TestServerSearch(t *testing.T) {
 	c := serveCollection(t)
 	ix := c.MineAllRegional(nil, 0)
-	s := newServer(c, storeOf(t, c, ix), "")
+	s := New(c, storeOf(t, c, ix), "")
 
 	code, body := get(t, s, "/search?q=earthquake&k=5")
 	if code != http.StatusOK {
@@ -197,7 +197,7 @@ func TestServerSearch(t *testing.T) {
 
 func TestServerSearchValidation(t *testing.T) {
 	c := serveCollection(t)
-	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
+	s := New(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
 	for _, url := range []string{"/search", "/search?q=", "/search?q=earthquake&k=0", "/search?q=earthquake&k=-3", "/search?q=earthquake&k=abc"} {
 		if code, body := get(t, s, url); code != http.StatusBadRequest {
 			t.Errorf("GET %s = %d %v, want 400", url, code, body)
@@ -209,7 +209,7 @@ func TestServerSearchValidation(t *testing.T) {
 
 func TestServerMethodAndRouteErrors(t *testing.T) {
 	c := serveCollection(t)
-	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
+	s := New(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
 
 	req := httptest.NewRequest(http.MethodPost, "/search?q=earthquake", strings.NewReader(""))
 	rec := httptest.NewRecorder()
@@ -236,7 +236,7 @@ func TestServerMethodAndRouteErrors(t *testing.T) {
 
 func TestServerConcurrentReads(t *testing.T) {
 	c := serveCollection(t)
-	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
+	s := New(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
 	done := make(chan struct{})
 	for g := 0; g < 8; g++ {
 		go func() {
@@ -275,7 +275,7 @@ func postJSON(t *testing.T, h http.Handler, url, body string) (int, map[string]a
 func TestServerV1Aliases(t *testing.T) {
 	c := serveCollection(t)
 	ix := c.MineAllRegional(nil, 0)
-	s := newServer(c, storeOf(t, c, ix), "")
+	s := New(c, storeOf(t, c, ix), "")
 	if code, body := get(t, s, "/v1/healthz"); code != http.StatusOK || body["status"] != "ok" {
 		t.Errorf("GET /v1/healthz = %d %v, want 200 ok", code, body)
 	}
@@ -293,7 +293,7 @@ func TestServerV1Aliases(t *testing.T) {
 func TestServerV1SearchRoundTrip(t *testing.T) {
 	c := serveCollection(t)
 	ix := c.MineAllRegional(nil, 0)
-	s := newServer(c, storeOf(t, c, ix), "")
+	s := New(c, storeOf(t, c, ix), "")
 	cases := []struct {
 		name string
 		body string
@@ -343,7 +343,7 @@ func TestServerV1SearchRoundTrip(t *testing.T) {
 
 func TestServerV1SearchValidation(t *testing.T) {
 	c := serveCollection(t)
-	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
+	s := New(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
 	bodies := []string{
 		`not json`,
 		`{}`,
@@ -376,7 +376,7 @@ func TestServerV1SearchValidation(t *testing.T) {
 // and an all-excluding filter reads as 404.
 func TestServerV1PatternsFiltered(t *testing.T) {
 	c := serveCollection(t)
-	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
+	s := New(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
 
 	code, body := get(t, s, "/v1/patterns/earthquake")
 	if code != http.StatusOK {
@@ -439,7 +439,7 @@ func TestWriteJSONEncodeFailure(t *testing.T) {
 // unbounded page (stburst.MaxK caps K and Offset at validation time).
 func TestServerV1SearchResourceLimits(t *testing.T) {
 	c := serveCollection(t)
-	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
+	s := New(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
 	for _, body := range []string{
 		`{"text":"earthquake","k":500000000}`,
 		`{"text":"earthquake","k":5,"offset":4000000000}`,
@@ -455,7 +455,7 @@ func TestServerV1SearchResourceLimits(t *testing.T) {
 // only an explicit from > to is rejected.
 func TestServerV1PatternsOpenEndedSpan(t *testing.T) {
 	c := serveCollection(t) // timeline 12
-	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
+	s := New(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
 	if code, body := get(t, s, "/v1/patterns/earthquake?from=100"); code != http.StatusNotFound {
 		t.Errorf("?from=100 (past the timeline) = %d %v, want 404", code, body)
 	}
@@ -468,14 +468,14 @@ func TestServerV1PatternsOpenEndedSpan(t *testing.T) {
 }
 
 // multiKindServer boots a server over a store holding all three kinds.
-func multiKindServer(t *testing.T, snapshotPath string) (*stburst.Collection, *stburst.Store, *server) {
+func multiKindServer(t *testing.T, snapshotPath string) (*stburst.Collection, *stburst.Store, *Server) {
 	t.Helper()
 	c := serveCollection(t)
 	store, err := c.MineStore(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return c, store, newServer(c, store, snapshotPath)
+	return c, store, New(c, store, snapshotPath)
 }
 
 // TestServerV1Indexes: the resident kinds are listed with their sizes
@@ -558,7 +558,7 @@ func TestServerMultiKindSearch(t *testing.T) {
 // is 404, not 400 or an empty 200.
 func TestServerSearchKindNotResident(t *testing.T) {
 	c := serveCollection(t)
-	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
+	s := New(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
 	code, body := postJSON(t, s, "/v1/search", `{"text":"earthquake","kind":"temporal"}`)
 	if code != http.StatusNotFound {
 		t.Errorf("POST /v1/search kind=temporal on regional-only store = %d %v, want 404", code, body)
@@ -618,7 +618,7 @@ func TestServerReload(t *testing.T) {
 	}
 	// Boot from a single-kind store, then reload into the full bundle.
 	regional := c.MineAllRegional(nil, 0)
-	s := newServer(c, storeOf(t, c, regional), path)
+	s := New(c, storeOf(t, c, regional), path)
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -675,7 +675,7 @@ func TestServerReload(t *testing.T) {
 func TestServerReloadErrors(t *testing.T) {
 	c := serveCollection(t)
 	ix := c.MineAllRegional(nil, 0)
-	s := newServer(c, storeOf(t, c, ix), "")
+	s := New(c, storeOf(t, c, ix), "")
 	if code, body := postJSON(t, s, "/v1/reload", ""); code != http.StatusConflict {
 		t.Errorf("reload without path = %d %v, want 409", code, body)
 	}
@@ -684,7 +684,7 @@ func TestServerReloadErrors(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not a bundle at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	s = newServer(c, storeOf(t, c, ix), path)
+	s = New(c, storeOf(t, c, ix), path)
 	if code, body := postJSON(t, s, "/v1/reload", ""); code != http.StatusInternalServerError {
 		t.Errorf("reload of corrupt file = %d %v, want 500", code, body)
 	}
@@ -700,17 +700,17 @@ func TestServerReloadErrors(t *testing.T) {
 
 // ingestServer builds an ingest-enabled server over a full three-kind
 // store, mirroring `stserve -ingest`.
-func ingestServer(t *testing.T, flushDocs int) (*stburst.Collection, *stburst.Store, *server, *stburst.Ingester) {
+func ingestServer(t *testing.T, flushDocs int) (*stburst.Collection, *stburst.Store, *Server, *stburst.Ingester) {
 	t.Helper()
 	c := serveCollection(t)
 	store, err := c.MineStore(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(c, store, "")
+	s := New(c, store, "")
 	ing := stburst.NewIngester(store, stburst.WithFlushDocs(flushDocs))
 	t.Cleanup(func() { ing.Close() })
-	s.enableIngest(ing)
+	s.EnableIngest(ing)
 	return c, store, s, ing
 }
 
@@ -718,7 +718,7 @@ func ingestServer(t *testing.T, flushDocs int) (*stburst.Collection, *stburst.St
 // sealed with 403, and nothing about the store changes.
 func TestServerDocumentsDisabled(t *testing.T) {
 	c := serveCollection(t)
-	s := newServer(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
+	s := New(c, storeOf(t, c, c.MineAllRegional(nil, 0)), "")
 	docs := c.NumDocs()
 	code, body := postJSON(t, s, "/v1/documents",
 		`{"documents":[{"stream":"lima","time":3,"text":"volcano erupts"}]}`)
