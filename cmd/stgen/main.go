@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	stgen -kind topix [-seed N] [-articles N] > corpus.jsonl
+//	stgen -kind topix [-seed N] [-articles N] [-vocab N] [-tokens N] > corpus.jsonl
 //	stgen -kind distgen|randgen [-streams N] [-timeline N] [-terms N] [-patterns N] > surfaces.jsonl
 //
 // For -kind topix each output line is a document:
@@ -51,6 +51,8 @@ func main() {
 		kind     = flag.String("kind", "topix", "corpus kind: topix, distgen, randgen")
 		seed     = flag.Int64("seed", 1, "random seed")
 		articles = flag.Float64("articles", 0, "topix: mean articles per country-week (0 = default)")
+		vocab    = flag.Int("vocab", 0, "topix: vocabulary size (0 = default)")
+		tokens   = flag.Float64("tokens", 0, "topix: mean tokens per article (0 = default)")
 		streams  = flag.Int("streams", 500, "artificial: number of streams")
 		timeline = flag.Int("timeline", 365, "artificial: timeline length")
 		terms    = flag.Int("terms", 10000, "artificial: number of terms")
@@ -64,7 +66,13 @@ func main() {
 
 	switch *kind {
 	case "topix":
-		tp, err := gen.NewTopix(gen.TopixConfig{Seed: *seed, WeeklyArticles: *articles, RetainCounts: true})
+		tp, err := gen.NewTopix(gen.TopixConfig{
+			Seed:             *seed,
+			WeeklyArticles:   *articles,
+			Vocab:            *vocab,
+			TokensPerArticle: *tokens,
+			RetainCounts:     true,
+		})
 		if err != nil {
 			fatal(err)
 		}

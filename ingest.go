@@ -23,6 +23,12 @@ var ErrIngesterClosed = errors.New("stburst: ingester is closed")
 // still buffered and stops the background flusher; documents added and
 // not yet flushed are never dropped except by a failing Ingest, whose
 // error Close (or the OnFlush callback) reports.
+//
+// The Ingester buffers in memory: documents become crash-durable only
+// when a flush hands them to Store.Ingest, which — on a store with a
+// write-ahead log attached — fsyncs the batch before applying it. A
+// process crash loses at most the documents still buffered here, never
+// a batch a flush already logged.
 type Ingester struct {
 	s         *Store
 	flushDocs int
@@ -144,8 +150,12 @@ func (g *Ingester) Add(docs ...IncomingDocument) (*IngestResult, error) {
 
 // Pending returns the number of buffered documents not yet ingested.
 // During a flush the documents being applied still count as pending —
-// they are not durable in the store until Ingest returns. Pending never
-// blocks behind an in-flight flush.
+// they are not applied to the store until Ingest returns, and with a
+// write-ahead log attached they become durable partway through the
+// flush, the moment Ingest has fsync'd the batch (logged ⇒ replayable:
+// from that point a crash replays them on boot even though Pending
+// still counts them). Without a WAL they are memory-only either way.
+// Pending never blocks behind an in-flight flush.
 func (g *Ingester) Pending() int {
 	return int(g.pendingN.Load())
 }

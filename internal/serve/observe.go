@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"stburst"
 	"stburst/internal/metrics"
 )
 
@@ -63,6 +64,33 @@ func newObserver(srv *Server) *observer {
 	o.s.NewGaugeFunc("stserve_ingested_docs_total",
 		"Documents accepted through POST /v1/documents.",
 		func() float64 { return float64(srv.ingests.Load()) })
+	// WAL gauges read a lock-free stats snapshot (Store.WALStats never
+	// blocks behind an in-flight ingest) and report 0 with no log
+	// attached, so the exposition is stable across deployments.
+	walStat := func(f func(stburst.WALStats) float64) func() float64 {
+		return func() float64 {
+			st, ok := srv.store.WALStats()
+			if !ok {
+				return 0
+			}
+			return f(st)
+		}
+	}
+	o.s.NewGaugeFunc("stserve_wal_last_seq",
+		"Sequence number of the most recent batch fsync'd to the write-ahead log (0 with no WAL).",
+		walStat(func(st stburst.WALStats) float64 { return float64(st.LastSeq) }))
+	o.s.NewGaugeFunc("stserve_wal_batches",
+		"Batches held across all write-ahead log segments.",
+		walStat(func(st stburst.WALStats) float64 { return float64(st.Batches) }))
+	o.s.NewGaugeFunc("stserve_wal_segments",
+		"Write-ahead log segment files on disk.",
+		walStat(func(st stburst.WALStats) float64 { return float64(st.Segments) }))
+	o.s.NewGaugeFunc("stserve_wal_bytes",
+		"Total size of the write-ahead log in bytes.",
+		walStat(func(st stburst.WALStats) float64 { return float64(st.Bytes) }))
+	o.s.NewGaugeFunc("stserve_wal_syncs_total",
+		"Fsyncs performed by the write-ahead log since it opened.",
+		walStat(func(st stburst.WALStats) float64 { return float64(st.Syncs) }))
 	return o
 }
 

@@ -214,6 +214,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"reloads":        s.reloads.Load(),
 		"ingested_docs":  s.ingests.Load(),
 	}
+	// Durability: absent entirely (enabled=false) without a WAL, so
+	// dashboards can tell "no log configured" from "log at sequence 0".
+	if wst, ok := s.store.WALStats(); ok {
+		stats["wal"] = map[string]any{
+			"enabled":  true,
+			"last_seq": wst.LastSeq,
+			"batches":  wst.Batches,
+			"segments": wst.Segments,
+			"bytes":    wst.Bytes,
+			"syncs":    wst.Syncs,
+		}
+	} else {
+		stats["wal"] = map[string]any{"enabled": false}
+	}
 	// Legacy top-level fields describe the first resident index, which
 	// on a pre-store single-kind deployment is exactly the old payload.
 	if len(ixs) > 0 {

@@ -1,6 +1,9 @@
 package stream
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"sync"
@@ -261,6 +264,20 @@ type AppendDoc struct {
 	Counts map[string]int
 }
 
+// CheckBatch validates a batch against the collection's shape without
+// applying it — exactly the checks Append performs before touching any
+// state. The write-ahead log runs it before logging a batch, making
+// "logged but unappendable" impossible: a frame that reached the log
+// always replays cleanly into a collection of the same shape.
+func (c *Collection) CheckBatch(docs []AppendDoc) error {
+	for i, d := range docs {
+		if err := c.checkDoc(d.Stream, d.Time); err != nil {
+			return fmt.Errorf("appending document %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // Append atomically publishes a batch of documents arriving after the
 // initial load, safely under any number of concurrent readers: the next
 // snapshot is built aside (sharing all untouched structure with the
@@ -328,6 +345,50 @@ func (c *Collection) Append(docs []AppendDoc) (firstID int, dirty []int, err err
 	sort.Ints(dirty)
 	c.st.Store(next)
 	return firstID, dirty, nil
+}
+
+// Checksum returns a hex SHA-256 digest over the collection's entire
+// logical content — every document (in ID order), every posting list
+// (in ascending term-ID order) and the dictionary strings — so two
+// collections built by different routes (a live run vs. a corpus load
+// plus WAL replay) can be compared for bit-identity. The per-document
+// count maps are deliberately excluded: SetRetainCounts varies by
+// deployment, and the posting lists carry the same content.
+func (c *Collection) Checksum() string {
+	st := c.st.Load()
+	h := sha256.New()
+	var b8 [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		h.Write(b8[:])
+	}
+	w(uint64(len(c.streams)))
+	w(uint64(c.length))
+	w(uint64(len(st.docs)))
+	for _, d := range st.docs {
+		w(uint64(d.Stream))
+		w(uint64(d.Time))
+	}
+	terms := make([]int, 0, len(st.postings))
+	for t := range st.postings {
+		terms = append(terms, t)
+	}
+	sort.Ints(terms)
+	w(uint64(len(terms)))
+	for _, t := range terms {
+		name := st.dict.Term(t)
+		w(uint64(len(name)))
+		h.Write([]byte(name))
+		ps := st.postings[t]
+		w(uint64(len(ps)))
+		for _, p := range ps {
+			w(uint64(p.doc))
+			w(uint64(p.stream))
+			w(uint64(p.time))
+			w(uint64(p.count))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Terms returns the IDs of all terms that occur in the collection, in

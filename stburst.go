@@ -278,10 +278,10 @@ func (c *Collection) Append(ctx context.Context, docs []IncomingDocument) (*Appe
 	return &AppendResult{FirstID: first, Docs: len(docs), DirtyTerms: terms}, nil
 }
 
-// appendDocs tokenizes and appends a batch, returning the first assigned
-// ID and the ascending dirty term IDs — the shared back half of Append
-// and Store.Ingest.
-func (c *Collection) appendDocs(docs []IncomingDocument) (int, []int, error) {
+// prepareBatch tokenizes a batch into the stream layer's append shape —
+// the form the write-ahead log frames and Collection.Append interns, so
+// logging and applying agree byte for byte on what the batch contains.
+func (c *Collection) prepareBatch(docs []IncomingDocument) []stream.AppendDoc {
 	batch := make([]stream.AppendDoc, len(docs))
 	for i, d := range docs {
 		tokens := d.Tokens
@@ -294,11 +294,26 @@ func (c *Collection) appendDocs(docs []IncomingDocument) (int, []int, error) {
 		}
 		batch[i] = stream.AppendDoc{Stream: d.Stream, Time: d.Time, Counts: counts}
 	}
-	return c.col.Append(batch)
+	return batch
+}
+
+// appendDocs tokenizes and appends a batch, returning the first assigned
+// ID and the ascending dirty term IDs — the shared back half of Append
+// and Store.Ingest.
+func (c *Collection) appendDocs(docs []IncomingDocument) (int, []int, error) {
+	return c.col.Append(c.prepareBatch(docs))
 }
 
 // NumDocs returns the number of documents added.
 func (c *Collection) NumDocs() int { return c.col.NumDocs() }
+
+// Checksum returns a hex digest over the collection's entire logical
+// content — documents, posting lists and vocabulary. Two collections
+// with equal checksums are interchangeable for every consumer in this
+// package: same document IDs, same interned term IDs, same frequency
+// surfaces. The crash-recovery suite uses it to prove a corpus load
+// plus WAL replay reproduces the pre-crash collection bit for bit.
+func (c *Collection) Checksum() string { return c.col.Checksum() }
 
 // NumStreams returns the number of streams.
 func (c *Collection) NumStreams() int { return c.col.NumStreams() }

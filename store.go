@@ -13,6 +13,7 @@ import (
 	"stburst/internal/core"
 	"stburst/internal/index"
 	"stburst/internal/search"
+	"stburst/internal/wal"
 )
 
 // ErrKindNotResident is returned (wrapped) by Store.Query when the query
@@ -60,6 +61,10 @@ type Store struct {
 	// must match the options the resident indexes were mined with for
 	// the refresh to be exact.
 	mineOpts atomic.Pointer[MineOptions]
+	// wal, when non-nil, is the attached write-ahead log (AttachWAL):
+	// Ingest fsyncs every batch to it before applying. Behind an atomic
+	// pointer so WALStats never blocks behind an in-flight ingest.
+	wal atomic.Pointer[wal.Log]
 }
 
 // NewStore creates an empty store over the collection. Populate it with
@@ -316,6 +321,13 @@ type IngestResult struct {
 // Ingest (even of an empty batch) re-mines them — but the resident
 // indexes are stale for those terms until it runs. Callers must not
 // re-submit the same documents after this error.
+//
+// With a write-ahead log attached (AttachWAL), the guarantee is
+// stronger: logged ⇒ replayable. The batch was fsync'd to the WAL
+// before it applied, and an aborted refresh deliberately leaves the
+// WAL entry intact, so even a crash in this half-finished state loses
+// nothing — boot-time replay re-appends the batch and re-mines its
+// dirty terms, healing the refresh the abort skipped.
 var ErrIngestIncomplete = errors.New("stburst: ingest appended documents but the index refresh is incomplete; a later Ingest repairs it")
 
 // Ingest is the live write path: it appends a batch of freshly arrived
@@ -334,14 +346,22 @@ var ErrIngestIncomplete = errors.New("stburst: ingest appended documents but the
 // options for the refresh to be exact. Ingest calls serialize, and
 // Replace serializes against an in-flight Ingest (see Replace).
 //
-// Failure semantics: an error before the append (cancelled context,
-// invalid batch) leaves the store and collection untouched, and the
-// batch may be retried verbatim. An error after the append wraps
+// With a write-ahead log attached (AttachWAL), Ingest logs before it
+// applies: the batch is validated, framed and fsync'd to the WAL, and
+// only then appended — so from the moment Ingest can no longer return
+// a plain retryable error, the batch is already on stable storage and
+// a crash anywhere in the rest of the path replays it on boot.
+//
+// Failure semantics: an error before the append — cancelled context,
+// invalid batch, or a failed WAL write (the torn frame is rolled back
+// off the log) — leaves the store, collection and log untouched, and
+// the batch may be retried verbatim. An error after the append wraps
 // ErrIngestIncomplete: the documents are already in the collection —
 // never re-submit them — and their dirty terms are remembered and
 // re-mined by the next Ingest, so an aborted refresh can only delay
-// freshness, never corrupt it. On a store with no resident indexes,
-// Ingest just appends and bumps the generation.
+// freshness, never corrupt it; the batch's WAL entry is left intact,
+// so a crash before that repair heals on replay. On a store with no
+// resident indexes, Ingest just appends and bumps the generation.
 func (s *Store) Ingest(ctx context.Context, docs []IncomingDocument) (IngestResult, error) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
@@ -352,8 +372,22 @@ func (s *Store) Ingest(ctx context.Context, docs []IncomingDocument) (IngestResu
 	// pre-append corpus, their clean terms carry over unchanged, and no
 	// Replace can land between here and the install below.
 	resident := s.indexes.Load()
-	_, dirty, err := s.c.appendDocs(docs)
+	batch := s.c.prepareBatch(docs)
+	// Validate before logging: a frame that reaches the WAL must never
+	// fail to apply, or replay could not reproduce this store.
+	if err := s.c.col.CheckBatch(batch); err != nil {
+		return IngestResult{}, err
+	}
+	if l := s.wal.Load(); l != nil && len(batch) > 0 {
+		if _, err := l.Append(s.Generation(), uint64(s.c.NumDocs()), batch); err != nil {
+			return IngestResult{}, err
+		}
+	}
+	_, dirty, err := s.c.col.Append(batch)
 	if err != nil {
+		// Unreachable: CheckBatch ran Append's exact validation. Surface
+		// it as pre-append (nothing applied) rather than strand the
+		// logged frame silently — replay would heal it after a restart.
 		return IngestResult{}, err
 	}
 	// Fold in dirty terms a previously aborted refresh left stale; they
@@ -392,11 +426,33 @@ func (s *Store) Ingest(ctx context.Context, docs []IncomingDocument) (IngestResu
 			s.staleDirty[t] = struct{}{}
 		}
 	}
+	refreshed, err := s.refreshLocked(ctx, resident, dirty)
+	if err != nil {
+		rememberStale()
+		return IngestResult{}, fmt.Errorf("%w: %w", ErrIngestIncomplete, err)
+	}
+	if !refreshed {
+		// Nothing resident to refresh: the append alone is the mutation.
+		s.staleDirty = nil
+		return IngestResult{Generation: s.gen.Add(1), Docs: len(docs), DirtyTerms: len(dirty)}, nil
+	}
+	s.staleDirty = nil
+	return IngestResult{Generation: s.Generation(), Docs: len(docs), DirtyTerms: len(dirty)}, nil
+}
+
+// refreshLocked incrementally re-mines the dirty terms against the
+// given resident snapshot and atomically installs the refreshed indexes
+// (bumping the generation); callers hold writeMu. It reports false —
+// with nothing installed and no error — when no index is resident, in
+// which case the caller owns whatever generation bump the mutation
+// deserves. The shared back half of Ingest and AttachWAL's boot-time
+// replay: both must refresh identically for a replayed store to be
+// bit-identical to the pre-crash one.
+func (s *Store) refreshLocked(ctx context.Context, resident *[3]*PatternIndex, dirty []int) (bool, error) {
 	opts := s.mineOpts.Load()
 	if opts == nil {
 		opts = &MineOptions{}
 	}
-
 	var (
 		prevW map[int][]core.Window
 		prevC map[int][]core.CombPattern
@@ -412,17 +468,13 @@ func (s *Store) Ingest(ctx context.Context, docs []IncomingDocument) (IngestResu
 		prevT = ix.set.AllTemporal()
 	}
 	if prevW == nil && prevC == nil && prevT == nil {
-		// Nothing resident to refresh: the append alone is the mutation.
-		s.staleDirty = nil
-		return IngestResult{Generation: s.gen.Add(1), Docs: len(docs), DirtyTerms: len(dirty)}, nil
+		return false, nil
 	}
-
 	w, cb, tp, err := search.RemineDirtyParCtx(ctx, s.c.col, dirty,
 		prevW, prevC, prevT,
 		opts.Regional.coreOptions(), opts.Combinatorial.coreOptions(), nil, opts.Parallelism)
 	if err != nil {
-		rememberStale()
-		return IngestResult{}, fmt.Errorf("%w: %w", ErrIngestIncomplete, err)
+		return true, err
 	}
 	var fresh []*PatternIndex
 	if w != nil {
@@ -438,11 +490,9 @@ func (s *Store) Ingest(ctx context.Context, docs []IncomingDocument) (IngestResu
 		ix.Engine() // warm before the swap: no query pays the build
 	}
 	if err := s.replaceLocked(fresh...); err != nil {
-		rememberStale()
-		return IngestResult{}, fmt.Errorf("%w: %w", ErrIngestIncomplete, err)
+		return true, err
 	}
-	s.staleDirty = nil
-	return IngestResult{Generation: s.Generation(), Docs: len(docs), DirtyTerms: len(dirty)}, nil
+	return true, nil
 }
 
 // residentSets returns the pattern sets of the resident indexes in
@@ -470,6 +520,13 @@ func (s *Store) residentSets() ([]*index.PatternSet, error) {
 // in. An empty store cannot be saved. Save serializes against writers
 // (Swap/Replace/Ingest), so the recorded generation always matches the
 // serialized indexes — never one mutation's number on another's data.
+//
+// With a write-ahead log attached, a successful save rotates the log:
+// the active segment seals and a fresh one opens, so segment files
+// stay bounded under sustained ingestion. The sealed segments are NOT
+// deleted — a bundle persists patterns, not documents, so the logged
+// batches remain the only durable copy of the appended documents until
+// the corpus file itself absorbs them (see DESIGN.md).
 func (s *Store) Save(w io.Writer) error {
 	s.writeMu.Lock()
 	sets, err := s.residentSets()
@@ -478,12 +535,30 @@ func (s *Store) Save(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return index.WriteBundle(w, sets, s.c.col.Dict().Term, gen)
+	if err := index.WriteBundle(w, sets, s.c.col.Dict().Term, gen); err != nil {
+		return err
+	}
+	return s.rotateWAL()
+}
+
+// rotateWAL seals the attached log's active segment after a successful
+// save; a rotation failure surfaces (the bundle itself is intact).
+func (s *Store) rotateWAL() error {
+	l := s.wal.Load()
+	if l == nil {
+		return nil
+	}
+	if err := l.Rotate(); err != nil {
+		return fmt.Errorf("stburst: rotating wal after save: %w", err)
+	}
+	return nil
 }
 
 // SaveFile saves the store as a bundle file, atomically: the bundle is
 // written to a temp file in the destination directory and renamed over
 // the target, so an interrupted save never leaves a truncated file.
+// Like Save, a successful SaveFile rotates the attached write-ahead
+// log.
 func (s *Store) SaveFile(path string) error {
 	s.writeMu.Lock()
 	sets, err := s.residentSets()
@@ -492,7 +567,10 @@ func (s *Store) SaveFile(path string) error {
 	if err != nil {
 		return err
 	}
-	return index.WriteBundleFile(path, sets, s.c.col.Dict().Term, gen)
+	if err := index.WriteBundleFile(path, sets, s.c.col.Dict().Term, gen); err != nil {
+		return err
+	}
+	return s.rotateWAL()
 }
 
 // LoadStore reads a store from r and attaches it to a collection
