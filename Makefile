@@ -14,6 +14,7 @@
 #   make load        # boot stserve on the bundle and drive $(LOAD_ARGS) at it
 #   make loadtest    # the in-process stload smoke (what CI runs)
 #   make wal-smoke   # kill -9 a logging stserve mid-ingest, reboot, assert recovery
+#   make cluster-smoke # 3-shard stserve cluster behind stgate, stload at the gateway
 
 GO ?= go
 CORPUS ?= corpus.jsonl
@@ -25,6 +26,8 @@ LOAD_ADDR ?= 127.0.0.1:8093
 LOAD_ARGS ?= -duration 10s -concurrency 8 -write-fraction 0.1
 WAL_ADDR ?= 127.0.0.1:8094
 WAL_TMP ?= walsmoke.tmp
+CLUSTER_GATE ?= 127.0.0.1:8095
+CLUSTER_TMP ?= clustersmoke.tmp
 BENCH_TIME ?= 1s
 # The serving-path benchmarks: retrieval (plain, filtered, store-routed,
 # KindAny fan-out), mining (per-kind batch, one-pass MineStore), and the
@@ -40,7 +43,7 @@ BENCH_SMOKE_PATTERN ?= BenchmarkQuery|BenchmarkStoreQuery|BenchmarkIngest
 # runs treat as up to date.
 .DELETE_ON_ERROR:
 
-.PHONY: all build vet test test-short race bench bench-json bench-smoke verify snapshot bundle serve load loadtest wal-smoke
+.PHONY: all build vet test test-short race bench bench-json bench-smoke verify snapshot bundle serve load loadtest wal-smoke cluster-smoke
 
 all: build test
 
@@ -59,7 +62,7 @@ test-short: build
 race: build
 	$(GO) test -race -short ./...
 	$(GO) test -race -run 'TestMineAll|TestConcurrent|TestSearchAnswers|TestPatternIndex|TestLoaded|TestIngest|TestAppend|TestWAL' .
-	$(GO) test -race ./internal/serve/ ./internal/metrics/ ./internal/wal/
+	$(GO) test -race ./internal/serve/ ./internal/metrics/ ./internal/wal/ ./internal/gate/
 
 bench: build
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -153,3 +156,57 @@ wal-smoke:
 	test "$$gen1" = "$$gen2" || { echo "wal-smoke: generation not recovered: pre-kill $$gen1, post-reboot $$gen2" >&2; exit 1; }; \
 	test "$$docs1" = "$$docs2" || { echo "wal-smoke: documents lost: pre-kill $$docs1, post-reboot $$docs2" >&2; exit 1; }; \
 	echo "wal-smoke: kill -9 survived — $$docs2 and $$gen2" | tr '\n' ' '; echo "recovered"
+
+# Scatter-gather smoke over the real binaries: mine a 3-shard partition,
+# boot one stserve per shard and an stgate over them, drive read-only
+# stload at the gateway, and assert a clean run (exit 0 = zero transport
+# errors), a 3-shard topology header in the report, and gateway /metrics
+# per-route totals equal to the report's sent counts — the same
+# accounting loop the single-node smoke closes, now across the fan-out.
+cluster-smoke:
+	$(GO) build -o bin/stgen ./cmd/stgen
+	$(GO) build -o bin/stmine ./cmd/stmine
+	$(GO) build -o bin/stserve ./cmd/stserve
+	$(GO) build -o bin/stgate ./cmd/stgate
+	$(GO) build -o bin/stload ./cmd/stload
+	@set -e; \
+	rm -rf $(CLUSTER_TMP); mkdir -p $(CLUSTER_TMP); \
+	pids=""; trap 'kill $$pids 2>/dev/null || true; rm -rf $(CLUSTER_TMP)' EXIT; \
+	./bin/stgen -kind topix -seed 1 -articles 0.4 -vocab 300 -tokens 8 > $(CLUSTER_TMP)/corpus.jsonl; \
+	./bin/stmine -all -method all -shards 3 -corpus $(CLUSTER_TMP)/corpus.jsonl \
+		-o $(CLUSTER_TMP)/corpus.bundle > /dev/null; \
+	i=0; for port in 8096 8097 8098; do \
+		./bin/stserve -corpus $(CLUSTER_TMP)/corpus.jsonl -addr 127.0.0.1:$$port \
+			-snapshot $(CLUSTER_TMP)/corpus-shard$$i-of3.bundle & pids="$$pids $$!"; \
+		i=$$((i+1)); \
+	done; \
+	for port in 8096 8097 8098; do \
+		ok=0; for t in $$(seq 1 200); do \
+			curl -sf http://127.0.0.1:$$port/v1/healthz > /dev/null 2>&1 && { ok=1; break; }; sleep 0.3; \
+		done; \
+		test $$ok = 1 || { echo "cluster-smoke: member on $$port never became healthy" >&2; exit 1; }; \
+	done; \
+	./bin/stgate -addr $(CLUSTER_GATE) -shard http://127.0.0.1:8096 \
+		-shard http://127.0.0.1:8097 -shard http://127.0.0.1:8098 & pids="$$pids $$!"; \
+	ok=0; for t in $$(seq 1 200); do \
+		curl -sf http://$(CLUSTER_GATE)/v1/healthz > /dev/null 2>&1 && { ok=1; break; }; sleep 0.3; \
+	done; \
+	test $$ok = 1 || { echo "cluster-smoke: gateway never assembled the cluster" >&2; exit 1; }; \
+	./bin/stload -target http://$(CLUSTER_GATE) -requests 200 -seed 1 -concurrency 4 \
+		-write-fraction 0 -vocab 300 > $(CLUSTER_TMP)/report.json; \
+	grep -q '"shards": 3' $(CLUSTER_TMP)/report.json || \
+		{ echo "cluster-smoke: report topology does not say 3 shards" >&2; exit 1; }; \
+	curl -sf http://$(CLUSTER_GATE)/metrics | awk -F'"' \
+		'index($$0, "stgate_http_requests_total{route=") == 1 \
+			&& $$2 != "GET /v1/healthz" && $$2 != "GET /metrics" \
+			{ k = split($$0, a, " "); sum[$$2] += a[k] } \
+		END { for (r in sum) printf "%s\t%d\n", r, sum[r] }' \
+		| sort > $(CLUSTER_TMP)/served; \
+	awk -F'"' '/"ops_by_route"/ { f = 1; next } \
+		f && /^[ \t]*\},?$$/ { f = 0 } \
+		f && NF >= 3 { c = $$3; gsub(/[^0-9]/, "", c); n[$$2] = c } \
+		END { n["GET /v1/stats"] += 1; for (r in n) printf "%s\t%d\n", r, n[r] }' \
+		$(CLUSTER_TMP)/report.json | sort > $(CLUSTER_TMP)/sent; \
+	diff -u $(CLUSTER_TMP)/sent $(CLUSTER_TMP)/served || \
+		{ echo "cluster-smoke: gateway /metrics disagrees with the stload report (sent vs served above)" >&2; exit 1; }; \
+	echo "cluster-smoke: 3-shard scatter-gather clean — gateway counters match the stload report"

@@ -1,0 +1,110 @@
+// Command stgate fronts a sharded stburst cluster: one HTTP coordinator
+// over N stserve members, each serving one shard of the vocabulary
+// partition written by stmine -shards (all members load the same full
+// corpus; only the pattern bundles are partitioned).
+//
+// Usage:
+//
+//	stmine -corpus corpus.jsonl -all -method all -shards 3 -o corpus.bundle
+//	stserve -addr :8081 -corpus corpus.jsonl -snapshot corpus-shard0-of3.bundle &
+//	stserve -addr :8082 -corpus corpus.jsonl -snapshot corpus-shard1-of3.bundle &
+//	stserve -addr :8083 -corpus corpus.jsonl -snapshot corpus-shard2-of3.bundle &
+//	stgate -addr :8080 -shard http://localhost:8081 \
+//	       -shard http://localhost:8082 -shard http://localhost:8083
+//
+// The gateway polls each member's /v1/healthz, refuses to serve unless
+// the members form exactly one consistent partition (every shard index
+// once, same shard count, partition scheme, corpus fingerprint and
+// store generation), and answers the read surface of the /v1 API —
+// search pages are bit-identical to an unsharded stserve over the same
+// corpus and patterns. See internal/gate for the protocol and the
+// strict failure policy.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stburst/internal/gate"
+)
+
+func main() {
+	var members []string
+	addr := flag.String("addr", ":8080", "listen address")
+	pollInterval := flag.Duration("poll-interval", gate.DefaultPollInterval, "member health poll cadence")
+	shardTimeout := flag.Duration("shard-timeout", gate.DefaultShardTimeout, "per-shard upstream request timeout")
+	flag.Func("shard", "base URL of one shard member (repeat once per shard)", func(v string) error {
+		if v == "" {
+			return fmt.Errorf("empty URL")
+		}
+		members = append(members, v)
+		return nil
+	})
+	flag.Parse()
+	if len(members) == 0 {
+		fmt.Fprintln(os.Stderr, "stgate: at least one -shard member is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := gate.New(gate.Config{
+		Members:      members,
+		PollInterval: *pollInterval,
+		ShardTimeout: *shardTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// First poll before the listener opens, so a fully-booted cluster is
+	// servable from the first request; a still-booting one answers 503
+	// until the poll loop sees every member.
+	g.Refresh(ctx)
+	go g.Run(ctx)
+
+	log.Printf("gateway for %d members listening on %s", len(members), *addr)
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: g,
+		// Scatter-gather adds one upstream round trip, still bounded by
+		// the per-shard timeout; the same stalled-client ceilings as
+		// stserve apply.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+		close(errc)
+	}()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately instead of draining
+		log.Printf("shutting down: draining in-flight requests")
+		drain, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(drain); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("drained; bye")
+	}
+}

@@ -9,6 +9,12 @@
 //	stload -target http://localhost:8080 -duration 30s -concurrency 16
 //	stload -target http://localhost:8080 -requests 10000 -seed 1 -o report.json
 //
+// The target can equally be an stgate coordinator fronting a sharded
+// cluster — the read surface is identical. Either way the report's
+// topology header records what /v1/stats said was under load (docs,
+// generation, shard count, member URLs), so a gateway benchmark is
+// never mistaken for a single-node one.
+//
 // The workload is synthesized from the same world model that generates
 // topix corpora: zipf term queries over the background vocabulary and
 // the Major Events' query terms, regional hotspot queries aimed at
@@ -97,10 +103,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "stload: %v\n", err)
 		return 1
 	}
+	topo, err := probeTopology(client, cfg.target)
+	if err != nil {
+		fmt.Fprintf(stderr, "stload: %v\n", err)
+		return 1
+	}
 
 	res := execute(client, cfg, w)
 
-	rep := buildReport(cfg, res)
+	rep := buildReport(cfg, topo, res)
 	enc, err := marshalReport(rep)
 	if err != nil {
 		fmt.Fprintf(stderr, "stload: encoding report: %v\n", err)
@@ -196,6 +207,69 @@ func healthcheck(client *http.Client, target string) error {
 		return fmt.Errorf("target unhealthy: GET /v1/healthz = %d", resp.StatusCode)
 	}
 	return nil
+}
+
+// probeTopology asks the target who it is via /v1/stats and distills the
+// answer into the report's topology header. A lone stserve describes
+// itself under "shard"; an stgate coordinator describes the cluster
+// under "cluster" — either way the report records how many shards the
+// run actually exercised, so a gateway benchmark is never mistaken for
+// a single-node one.
+func probeTopology(client *http.Client, target string) (reportTopology, error) {
+	resp, err := client.Get(target + "/v1/stats")
+	if err != nil {
+		return reportTopology{}, fmt.Errorf("probing topology: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return reportTopology{}, fmt.Errorf("probing topology: GET /v1/stats = %d", resp.StatusCode)
+	}
+	var raw struct {
+		Docs       int    `json:"docs"`
+		Streams    int    `json:"streams"`
+		Timeline   int    `json:"timeline"`
+		Generation uint64 `json:"generation"`
+		Shard      *struct {
+			Shards      int    `json:"shards"`
+			Scheme      string `json:"scheme"`
+			Fingerprint string `json:"fingerprint"`
+		} `json:"shard"`
+		Cluster *struct {
+			Shards      int    `json:"shards"`
+			Scheme      string `json:"scheme"`
+			Fingerprint string `json:"fingerprint"`
+			Members     []struct {
+				URL string `json:"url"`
+			} `json:"members"`
+		} `json:"cluster"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		return reportTopology{}, fmt.Errorf("probing topology: decoding /v1/stats: %w", err)
+	}
+	topo := reportTopology{
+		Docs:       raw.Docs,
+		Streams:    raw.Streams,
+		Timeline:   raw.Timeline,
+		Generation: raw.Generation,
+		Shards:     1,
+	}
+	switch {
+	case raw.Cluster != nil:
+		topo.Shards = raw.Cluster.Shards
+		topo.Scheme = raw.Cluster.Scheme
+		topo.Fingerprint = raw.Cluster.Fingerprint
+		for _, m := range raw.Cluster.Members {
+			topo.Members = append(topo.Members, m.URL)
+		}
+	case raw.Shard != nil:
+		if raw.Shard.Shards > 0 {
+			topo.Shards = raw.Shard.Shards
+		}
+		topo.Scheme = raw.Shard.Scheme
+		topo.Fingerprint = raw.Shard.Fingerprint
+	}
+	return topo, nil
 }
 
 // routeTally accumulates one route's results. All fields are atomics —
@@ -321,8 +395,9 @@ func marshalReport(rep report) ([]byte, error) {
 	return append(enc, '\n'), nil
 }
 
-func buildReport(cfg config, res *runResult) report {
+func buildReport(cfg config, topo reportTopology, res *runResult) report {
 	rep := report{
+		Topology: topo,
 		Config: reportConfig{
 			Target:        cfg.target,
 			Seed:          cfg.seed,

@@ -263,6 +263,12 @@ func TestSmokeMixedLoad(t *testing.T) {
 	if rep.Workload.DocsSent == 0 {
 		t.Error("mixed load sent no documents")
 	}
+	if rep.Topology.Docs == 0 || rep.Topology.Streams == 0 {
+		t.Errorf("topology header missing corpus facts: %+v", rep.Topology)
+	}
+	if rep.Topology.Shards != 1 || rep.Topology.Members != nil {
+		t.Errorf("single stserve should report a 1-shard topology: %+v", rep.Topology)
+	}
 	search, ok := rep.Timing.Routes[routeSearch]
 	if !ok {
 		t.Fatalf("no latency section for %s", routeSearch)
@@ -271,8 +277,11 @@ func TestSmokeMixedLoad(t *testing.T) {
 		t.Errorf("implausible search latencies: %+v", search)
 	}
 
-	// Cross-check against the server's own accounting.
+	// Cross-check against the server's own accounting. The topology
+	// probe stload runs before the load is one extra stats request the
+	// server counted but the report's workload (rightly) does not.
 	scraped := scrapeCounters(t, ts.URL)
+	scraped[routeStats]--
 	for route, sent := range rep.Workload.OpsByRoute {
 		if got := scraped[route]; got != sent {
 			t.Errorf("server /metrics counts %d requests on %q, report sent %d", got, route, sent)

@@ -10,6 +10,7 @@ package main
 // byte for byte.
 type report struct {
 	Config   reportConfig   `json:"config"`
+	Topology reportTopology `json:"topology"`
 	Workload reportWorkload `json:"workload"`
 	Outcome  reportOutcome  `json:"outcome"`
 	Timing   reportTiming   `json:"timing"`
@@ -25,6 +26,24 @@ type reportConfig struct {
 	WriteFraction float64 `json:"write_fraction"`
 	Vocab         int     `json:"vocab"`
 	Timeline      int     `json:"timeline"`
+}
+
+// reportTopology is the target's own account of what was under load,
+// captured from GET /v1/stats before the first op (an ingesting run
+// would otherwise move docs and generation mid-probe). It speaks both
+// server dialects: a lone stserve reports its identity under "shard"
+// (shards is 1 unless it serves an stmine -shards bundle), an stgate
+// coordinator reports the whole cluster's under "cluster", including
+// the member URLs. The fingerprint is always the corpus checksum.
+type reportTopology struct {
+	Docs        int      `json:"docs"`
+	Streams     int      `json:"streams"`
+	Timeline    int      `json:"timeline"`
+	Generation  uint64   `json:"generation"`
+	Shards      int      `json:"shards"`
+	Scheme      string   `json:"scheme,omitempty"`
+	Fingerprint string   `json:"fingerprint,omitempty"`
+	Members     []string `json:"members,omitempty"`
 }
 
 type reportWorkload struct {

@@ -22,6 +22,17 @@
 // three indexes as one bundle, the artifact a multi-kind stserve boots
 // from; the top-k listing then tags each pattern with its kind.
 //
+// -shards N (requires -all -method all -o) splits the mined vocabulary
+// into N shard bundles by hashing each term's canonical string
+// (index.TermShard), written as PATH-shard<i>-of<N>.ext next to the -o
+// path. Every shard bundle records its coordinates, the partition
+// scheme and the corpus checksum, so stserve and the stgate coordinator
+// can refuse a mixed or foreign shard set:
+//
+//	stmine -all -method all -shards 3 -corpus corpus.jsonl -o corpus.bundle
+//	stserve -corpus corpus.jsonl -snapshot corpus-shard0-of3.bundle -addr :8081
+//	stgate  -shard http://host1:8081 -shard http://host2:8082 -shard http://host3:8083
+//
 // Streams are projected onto the 2-D plane with multidimensional scaling
 // over their pairwise geographic distances, as in §6.1 of the paper.
 package main
@@ -32,7 +43,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"stburst/internal/core"
@@ -51,14 +64,11 @@ func main() {
 		parallel = flag.Int("parallel", 0, "mining workers for -all (<1 = one per CPU)")
 		corpus   = flag.String("corpus", "", "JSONL corpus path (default: read stdin)")
 		out      = flag.String("o", "", "write the mined index as a snapshot (-method all: a bundle) to this path (requires -all)")
+		shards   = flag.Int("shards", 1, "split the mined vocabulary into this many shard bundles (requires -all -method all -o)")
 	)
 	flag.Parse()
-	if *term == "" && !*all {
-		fmt.Fprintln(os.Stderr, "stmine: -term is required (or pass -all)")
-		os.Exit(2)
-	}
-	if *out != "" && !*all {
-		fmt.Fprintln(os.Stderr, "stmine: -o requires -all (snapshots hold the whole vocabulary)")
+	if err := validateFlags(*term, *all, *method, *out, *shards); err != nil {
+		fmt.Fprintln(os.Stderr, "stmine:", err)
 		os.Exit(2)
 	}
 
@@ -84,7 +94,7 @@ func main() {
 	if *all {
 		var mineErr error
 		if *method == "all" {
-			mineErr = mineAllKinds(os.Stdout, os.Stderr, col, *k, *parallel, *out)
+			mineErr = mineAllKinds(os.Stdout, os.Stderr, col, *k, *parallel, *out, *shards)
 		} else {
 			mineErr = mineAll(os.Stdout, os.Stderr, col, *method, *k, *parallel, *out)
 		}
@@ -136,6 +146,40 @@ func main() {
 type usageError string
 
 func (e usageError) Error() string { return string(e) }
+
+// validateFlags rejects impossible flag combinations before any corpus
+// is read. Splitting into shards needs the one mode that produces whole-
+// vocabulary bundles: -all -method all with an -o path to derive the
+// per-shard file names from (-shards exceeding the vocabulary size is
+// caught after the corpus loads, in mineAllKinds).
+func validateFlags(term string, all bool, method, out string, shards int) error {
+	if term == "" && !all {
+		return usageError("-term is required (or pass -all)")
+	}
+	if out != "" && !all {
+		return usageError("-o requires -all (snapshots hold the whole vocabulary)")
+	}
+	if shards < 1 {
+		return usageError(fmt.Sprintf("-shards %d: need at least 1 shard", shards))
+	}
+	if shards > 1 {
+		if !all || method != "all" {
+			return usageError("-shards requires -all -method all (every shard bundle carries all three kinds)")
+		}
+		if out == "" {
+			return usageError("-shards requires -o (shard bundles are on-disk artifacts, not listings)")
+		}
+	}
+	return nil
+}
+
+// shardBundlePath derives shard i's bundle file name from the -o path:
+// corpus.bundle becomes corpus-shard0-of3.bundle and so on, keeping the
+// extension so every artifact stays recognizably a bundle.
+func shardBundlePath(path string, shard, shards int) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s-shard%d-of%d%s", strings.TrimSuffix(path, ext), shard, shards, ext)
+}
 
 func exitCode(err error) int {
 	if _, ok := err.(usageError); ok {
@@ -242,8 +286,14 @@ func mineAll(out, diag io.Writer, col *stream.Collection, method string, k, para
 // shared worker pool, prints the top-k patterns across every term AND
 // kind (each line tagged with its kind) to out and, when bundlePath is
 // set, writes the three indexes as one bundle — the artifact a
-// multi-kind stserve boots from.
-func mineAllKinds(out, diag io.Writer, col *stream.Collection, k, parallel int, bundlePath string) error {
+// multi-kind stserve boots from. With shards > 1 the vocabulary is
+// split by index.TermShard and each shard's three kinds are written as
+// one sharded bundle next to bundlePath instead.
+func mineAllKinds(out, diag io.Writer, col *stream.Collection, k, parallel int, bundlePath string, shards int) error {
+	if shards > col.Dict().Len() {
+		return usageError(fmt.Sprintf("-shards %d exceeds the vocabulary size %d (a shard must own at least one term)",
+			shards, col.Dict().Len()))
+	}
 	start := time.Now()
 	windows, combs, temporal, err := search.MineAllKindsParCtx(context.Background(), col,
 		core.STLocalOptions{}, core.STCombOptions{}, nil, parallel)
@@ -266,7 +316,32 @@ func mineAllKinds(out, diag io.Writer, col *stream.Collection, k, parallel int, 
 		fmt.Fprintf(diag, "stmine: %-13s %d terms, %d patterns, fingerprint %.12s...\n",
 			set.Kind(), set.NumTerms(), set.NumPatterns(), set.Fingerprint())
 	}
-	if bundlePath != "" {
+	switch {
+	case bundlePath != "" && shards > 1:
+		// One sharded bundle per vocabulary slice, each stamped with its
+		// coordinates, the partition scheme and the corpus checksum so a
+		// serving cluster can detect a mixed or foreign shard set. The
+		// generation starts at 0 as for any freshly mined artifact.
+		parts, err := index.SplitSets(sets, col.Dict().Term, shards)
+		if err != nil {
+			return err
+		}
+		checksum := col.Checksum()
+		for i, part := range parts {
+			info := index.ShardInfo{Shard: i, Shards: shards, Scheme: index.ShardScheme, CorpusFingerprint: checksum}
+			path := shardBundlePath(bundlePath, i, shards)
+			if err := index.WriteBundleShardedFile(path, part, col.Dict().Term, 0, info); err != nil {
+				return err
+			}
+			terms, patterns := 0, 0
+			for _, set := range part {
+				terms += set.NumTerms()
+				patterns += set.NumPatterns()
+			}
+			fmt.Fprintf(diag, "stmine: shard %d/%d written to %s (%d terms, %d patterns)\n",
+				i, shards, path, terms, patterns)
+		}
+	case bundlePath != "":
 		// A freshly mined artifact starts the generation sequence at 0;
 		// live ingestion through stserve advances it from there.
 		if err := index.WriteBundleFile(bundlePath, sets, col.Dict().Term, 0); err != nil {

@@ -92,7 +92,7 @@ func TestMineAllKindsBundle(t *testing.T) {
 	col := mineCollection(t)
 	path := filepath.Join(t.TempDir(), "corpus.bundle")
 	var out, diag bytes.Buffer
-	if err := mineAllKinds(&out, &diag, col, 5, 2, path); err != nil {
+	if err := mineAllKinds(&out, &diag, col, 5, 2, path, 1); err != nil {
 		t.Fatalf("mineAllKinds = %v", err)
 	}
 	if !strings.Contains(out.String(), "[regional]") &&
@@ -140,5 +140,123 @@ func TestMineAllKindsBundle(t *testing.T) {
 		if snap.Set.Fingerprint() != want.Fingerprint() {
 			t.Errorf("bundle %v member fingerprint differs from the single-kind miner", snap.Set.Kind())
 		}
+	}
+}
+
+// TestFlagValidation: the CLI flag table — every rejected combination is
+// a clean usage error (exit 2), every accepted one passes.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		term   string
+		all    bool
+		method string
+		out    string
+		shards int
+		ok     bool
+	}{
+		{name: "single term", term: "earthquake", method: "stlocal", shards: 1, ok: true},
+		{name: "all with bundle", all: true, method: "all", out: "corpus.bundle", shards: 1, ok: true},
+		{name: "sharded bundle", all: true, method: "all", out: "corpus.bundle", shards: 3, ok: true},
+		{name: "no term no all", method: "stlocal", shards: 1, ok: false},
+		{name: "output without all", term: "earthquake", method: "stlocal", out: "x.stb", shards: 1, ok: false},
+		{name: "zero shards", all: true, method: "all", out: "corpus.bundle", shards: 0, ok: false},
+		{name: "negative shards", all: true, method: "all", out: "corpus.bundle", shards: -2, ok: false},
+		{name: "shards without all", term: "earthquake", method: "all", out: "x.bundle", shards: 2, ok: false},
+		{name: "shards with single-kind method", all: true, method: "stlocal", out: "x.stb", shards: 2, ok: false},
+		{name: "shards without output", all: true, method: "all", shards: 2, ok: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.term, tc.all, tc.method, tc.out, tc.shards)
+			if tc.ok && err != nil {
+				t.Fatalf("validateFlags rejected a valid combination: %v", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatal("validateFlags accepted an invalid combination")
+				}
+				if exitCode(err) != 2 {
+					t.Errorf("exitCode = %d, want 2 for a usage error", exitCode(err))
+				}
+			}
+		})
+	}
+}
+
+// TestMineAllKindsSharded: -shards splits the vocabulary into per-shard
+// bundles that carry their coordinates and corpus checksum, partition
+// the terms exactly by index.TermShard, and recombine to the unsharded
+// miner's output bit for bit.
+func TestMineAllKindsSharded(t *testing.T) {
+	col := mineCollection(t)
+	const shards = 2
+	tmp := t.TempDir()
+	base := filepath.Join(tmp, "corpus.bundle")
+	var diag bytes.Buffer
+	if err := mineAllKinds(io.Discard, &diag, col, 5, 2, base, shards); err != nil {
+		t.Fatalf("mineAllKinds sharded = %v", err)
+	}
+
+	whole := filepath.Join(tmp, "whole.bundle")
+	if err := mineAllKinds(io.Discard, io.Discard, col, 5, 2, whole, 1); err != nil {
+		t.Fatal(err)
+	}
+	wf, err := os.Open(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wf.Close()
+	wholeSnaps, _, err := index.ReadBundle(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged := make([]map[int]bool, 3) // per kind: term IDs seen across shards
+	for i := range merged {
+		merged[i] = map[int]bool{}
+	}
+	for i := 0; i < shards; i++ {
+		path := shardBundlePath(base, i, shards)
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("shard %d bundle not written: %v", i, err)
+		}
+		snaps, gen, info, err := index.ReadBundleShard(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("shard %d bundle does not load: %v", i, err)
+		}
+		want := index.ShardInfo{Shard: i, Shards: shards, Scheme: index.ShardScheme, CorpusFingerprint: col.Checksum()}
+		if info != want || gen != 0 {
+			t.Errorf("shard %d identity = %+v gen %d, want %+v gen 0", i, info, gen, want)
+		}
+		if len(snaps) != 3 {
+			t.Fatalf("shard %d bundle has %d members, want 3", i, len(snaps))
+		}
+		for ki, snap := range snaps {
+			for _, id := range snap.Set.Terms() {
+				if got := index.TermShard(col.Dict().Term(id), shards); got != i {
+					t.Errorf("term %q in shard %d, TermShard says %d", col.Dict().Term(id), i, got)
+				}
+				if merged[ki][id] {
+					t.Errorf("term %q appears in two shards", col.Dict().Term(id))
+				}
+				merged[ki][id] = true
+			}
+		}
+	}
+	for ki, snap := range wholeSnaps {
+		if len(merged[ki]) != snap.Set.NumTerms() {
+			t.Errorf("kind %v: shards cover %d terms, unsharded miner has %d",
+				snap.Set.Kind(), len(merged[ki]), snap.Set.NumTerms())
+		}
+	}
+
+	// A shard count beyond the vocabulary is a usage error, found only
+	// after the corpus loads.
+	err = mineAllKinds(io.Discard, io.Discard, col, 5, 1, filepath.Join(tmp, "x.bundle"), col.Dict().Len()+1)
+	if err == nil || exitCode(err) != 2 {
+		t.Errorf("oversized -shards: err=%v exitCode=%d, want usage error exit 2", err, exitCode(err))
 	}
 }

@@ -10,9 +10,15 @@
 //	stmine -all -method all -corpus corpus.jsonl -o corpus.bundle
 //	stserve -corpus corpus.jsonl -snapshot corpus.bundle -addr :8080
 //
-// -snapshot accepts both artifacts the miner produces: a multi-kind
-// bundle (stmine -method all) and a single-kind .stb snapshot. The
-// stable contract is the versioned /v1/ JSON API:
+// -snapshot accepts every artifact the miner produces: a multi-kind
+// bundle (stmine -method all), a single-kind .stb snapshot, or one
+// shard of a partitioned vocabulary (stmine -shards N). A shard bundle
+// turns this process into one read-only member of a cluster served
+// through stgate: -ingest and -wal-dir are refused, the bundle's
+// recorded corpus fingerprint must match -corpus, and the shard
+// coordinates are reported by /v1/healthz, /v1/stats and /metrics so
+// the gateway can verify the member set. The stable contract is the
+// versioned /v1/ JSON API:
 //
 //	POST /v1/search          structured spatiotemporal query: the body is
 //	                         the stburst.Query JSON shape ({"text": ...,
@@ -168,6 +174,25 @@ func main() {
 	store, err := loadOrMine(c, *snapshot, *method, *parallel)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if si := store.ShardInfo(); si.Sharded() {
+		// A shard bundle holds one slice of a partitioned vocabulary; this
+		// process is one member of a cluster behind stgate. Writes are
+		// refused — an ingested document's terms would hash across every
+		// shard, and a lone member re-mining its slice would fork the
+		// set's shared generation — and the bundle must have been mined
+		// from exactly this corpus, or the shard would answer with foreign
+		// document IDs.
+		if *ingest || *walDir != "" {
+			log.Fatalf("snapshot %s is shard %d/%d: a shard member is read-only (-ingest/-wal-dir are not allowed; ingest into an unsharded deployment and re-run stmine -shards)",
+				*snapshot, si.Shard, si.Shards)
+		}
+		if si.CorpusFingerprint != "" && si.CorpusFingerprint != c.Checksum() {
+			log.Fatalf("snapshot %s was mined from a different corpus (bundle fingerprint %.12s..., -corpus %.12s...)",
+				*snapshot, si.CorpusFingerprint, c.Checksum())
+		}
+		log.Printf("serving shard %d/%d (%s, corpus fingerprint %.12s...)",
+			si.Shard, si.Shards, si.Scheme, si.CorpusFingerprint)
 	}
 	start = time.Now()
 	for _, kind := range store.Kinds() {

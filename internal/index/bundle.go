@@ -15,11 +15,18 @@ import (
 // Bundle binary format (".bundle", little-endian throughout):
 //
 //	magic      [8]byte  "STBBNDL\x00"
-//	version    uint32   currently 2
+//	version    uint32   2 (whole-vocabulary) or 3 (shard of a partition)
 //	count      uint32   number of member snapshots (1..3)
 //	generation uint64   store generation the bundle was saved at
 //	                    (version ≥ 2 only; a version-1 stream has no
 //	                    generation field and reads as generation 0)
+//	shard block (version ≥ 3 only):
+//	  shard       uint32   this bundle's shard index, in [0, shards)
+//	  shards      uint32   total shard count of the partition (≥ 1)
+//	  scheme      uint32 length + that many bytes, the partition-scheme
+//	              tag (ShardScheme; ≤ 64 bytes)
+//	  corpusfp    [32]byte raw SHA-256 of the mined corpus (all zero
+//	              when unrecorded)
 //	then, for each member, one manifest entry:
 //	  kind        uint32   PatternKind; entries in strictly ascending order
 //	  length      uint64   byte length of the member's snapshot stream
@@ -45,6 +52,12 @@ const bundleMagic = "STBBNDL\x00"
 // decoding it as generation 0.
 const BundleVersion = 2
 
+// ShardBundleVersion is the codec version written by WriteBundleSharded:
+// version 2 plus the shard block (shard coordinates, partition-scheme
+// tag and corpus fingerprint). Versions 1 and 2 read as the whole
+// partition: shard 0 of 1.
+const ShardBundleVersion = 3
+
 // minBundleVersion is the oldest codec version ReadBundle accepts.
 const minBundleVersion = 1
 
@@ -63,11 +76,31 @@ func WriteBundle(w io.Writer, sets []*PatternSet, term func(id int) string, gen 
 	return writeBundleVersion(w, sets, term, gen, BundleVersion)
 }
 
+// WriteBundleSharded is WriteBundle for one shard of a partitioned
+// vocabulary: it writes a version-3 bundle whose shard block records the
+// shard's coordinates, the partition scheme and the shared corpus
+// fingerprint, so a serving process (or a gateway aggregating several)
+// can detect a mixed or foreign shard set before answering a single
+// query. info is validated; a fingerprint, when present, must be a hex
+// SHA-256 as produced by Collection.Checksum.
+func WriteBundleSharded(w io.Writer, sets []*PatternSet, term func(id int) string, gen uint64, info ShardInfo) error {
+	if err := info.validate(); err != nil {
+		return err
+	}
+	return writeBundleShardVersion(w, sets, term, gen, ShardBundleVersion, info)
+}
+
 // writeBundleVersion writes the bundle at a specific codec version.
 // Version 1 — kept so the cross-version tests can produce genuine legacy
 // streams — has no generation field (gen is ignored) and version-1
 // member snapshots.
 func writeBundleVersion(w io.Writer, sets []*PatternSet, term func(id int) string, gen uint64, version uint32) error {
+	return writeBundleShardVersion(w, sets, term, gen, version, ShardInfo{Shards: 1})
+}
+
+// writeBundleShardVersion is the single bundle encoder: versions 1 and 2
+// ignore info, version 3 appends the shard block after the generation.
+func writeBundleShardVersion(w io.Writer, sets []*PatternSet, term func(id int) string, gen uint64, version uint32, info ShardInfo) error {
 	if len(sets) == 0 || len(sets) > maxBundleMembers {
 		return fmt.Errorf("index: bundle needs 1..%d member sets, got %d", maxBundleMembers, len(sets))
 	}
@@ -105,6 +138,31 @@ func writeBundleVersion(w io.Writer, sets []*PatternSet, term func(id int) strin
 	if version >= 2 {
 		binary.LittleEndian.PutUint64(buf[:8], gen)
 		if _, err := out.Write(buf[:8]); err != nil {
+			return fmt.Errorf("index: writing bundle: %w", err)
+		}
+	}
+	if version >= ShardBundleVersion {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(info.Shard))
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(info.Shards))
+		if _, err := out.Write(buf[:8]); err != nil {
+			return fmt.Errorf("index: writing bundle: %w", err)
+		}
+		binary.LittleEndian.PutUint32(buf[:4], uint32(len(info.Scheme)))
+		if _, err := out.Write(buf[:4]); err != nil {
+			return fmt.Errorf("index: writing bundle: %w", err)
+		}
+		if _, err := out.Write([]byte(info.Scheme)); err != nil {
+			return fmt.Errorf("index: writing bundle: %w", err)
+		}
+		var fp [32]byte // left all-zero when no fingerprint was recorded
+		if info.CorpusFingerprint != "" {
+			raw, err := hex.DecodeString(info.CorpusFingerprint)
+			if err != nil || len(raw) != 32 {
+				return fmt.Errorf("index: corpus fingerprint is not a hex SHA-256")
+			}
+			copy(fp[:], raw)
+		}
+		if _, err := out.Write(fp[:]); err != nil {
 			return fmt.Errorf("index: writing bundle: %w", err)
 		}
 	}
@@ -157,13 +215,25 @@ type bundleManifestEntry struct {
 // generation recorded in the v2 header; a version-1 bundle predates
 // generations and reads as generation 0.
 func ReadBundle(r io.Reader) ([]*Snapshot, uint64, error) {
+	snaps, gen, _, err := ReadBundleShard(r)
+	return snaps, gen, err
+}
+
+// ReadBundleShard is ReadBundle plus the bundle's shard identity: the
+// shard block of a version-3 stream, or shard 0 of 1 for the earlier
+// whole-vocabulary versions.
+func ReadBundleShard(r io.Reader) ([]*Snapshot, uint64, ShardInfo, error) {
 	h := sha256.New()
 	tr := io.TeeReader(r, h)
-	fail := func(err error) ([]*Snapshot, uint64, error) {
+	info := ShardInfo{Shards: 1}
+	fail := func(err error) ([]*Snapshot, uint64, ShardInfo, error) {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, 0, fmt.Errorf("index: reading bundle: %w", err)
+		return nil, 0, ShardInfo{}, fmt.Errorf("index: reading bundle: %w", err)
+	}
+	reject := func(format string, args ...any) ([]*Snapshot, uint64, ShardInfo, error) {
+		return nil, 0, ShardInfo{}, fmt.Errorf(format, args...)
 	}
 
 	var head [16]byte
@@ -171,15 +241,15 @@ func ReadBundle(r io.Reader) ([]*Snapshot, uint64, error) {
 		return fail(err)
 	}
 	if string(head[:8]) != bundleMagic {
-		return nil, 0, fmt.Errorf("index: not a pattern-index bundle (bad magic %q)", head[:8])
+		return reject("index: not a pattern-index bundle (bad magic %q)", head[:8])
 	}
 	version := binary.LittleEndian.Uint32(head[8:12])
-	if version < minBundleVersion || version > BundleVersion {
-		return nil, 0, fmt.Errorf("index: unsupported bundle version %d (want %d..%d)", version, minBundleVersion, BundleVersion)
+	if version < minBundleVersion || version > ShardBundleVersion {
+		return reject("index: unsupported bundle version %d (want %d..%d)", version, minBundleVersion, ShardBundleVersion)
 	}
 	count := binary.LittleEndian.Uint32(head[12:16])
 	if count == 0 || count > maxBundleMembers {
-		return nil, 0, fmt.Errorf("index: bundle member count %d outside [1, %d]", count, maxBundleMembers)
+		return reject("index: bundle member count %d outside [1, %d]", count, maxBundleMembers)
 	}
 	var generation uint64
 	if version >= 2 {
@@ -188,6 +258,33 @@ func ReadBundle(r io.Reader) ([]*Snapshot, uint64, error) {
 			return fail(err)
 		}
 		generation = binary.LittleEndian.Uint64(g[:])
+	}
+	if version >= ShardBundleVersion {
+		var coords [12]byte // shard(4) + shards(4) + scheme length(4)
+		if _, err := io.ReadFull(tr, coords[:]); err != nil {
+			return fail(err)
+		}
+		info.Shard = int(binary.LittleEndian.Uint32(coords[:4]))
+		info.Shards = int(binary.LittleEndian.Uint32(coords[4:8]))
+		schemeLen := binary.LittleEndian.Uint32(coords[8:12])
+		if schemeLen > maxShardSchemeLen {
+			return reject("index: bundle shard scheme tag longer than %d bytes", maxShardSchemeLen)
+		}
+		scheme := make([]byte, schemeLen)
+		if _, err := io.ReadFull(tr, scheme); err != nil {
+			return fail(err)
+		}
+		info.Scheme = string(scheme)
+		var fp [32]byte
+		if _, err := io.ReadFull(tr, fp[:]); err != nil {
+			return fail(err)
+		}
+		if fp != ([32]byte{}) {
+			info.CorpusFingerprint = hex.EncodeToString(fp[:])
+		}
+		if err := info.validate(); err != nil {
+			return reject("index: reading bundle: %v", err)
+		}
 	}
 
 	manifest := make([]bundleManifestEntry, count)
@@ -198,10 +295,10 @@ func ReadBundle(r io.Reader) ([]*Snapshot, uint64, error) {
 		}
 		kind := PatternKind(binary.LittleEndian.Uint32(entry[:4]))
 		if kind != KindRegional && kind != KindCombinatorial && kind != KindTemporal {
-			return nil, 0, fmt.Errorf("index: bundle manifest names unknown pattern kind %d", kind)
+			return reject("index: bundle manifest names unknown pattern kind %d", kind)
 		}
 		if i > 0 && manifest[i-1].kind >= kind {
-			return nil, 0, fmt.Errorf("index: bundle manifest kinds not strictly ascending (%v after %v)",
+			return reject("index: bundle manifest kinds not strictly ascending (%v after %v)",
 				kind, manifest[i-1].kind)
 		}
 		manifest[i].kind = kind
@@ -213,13 +310,13 @@ func ReadBundle(r io.Reader) ([]*Snapshot, uint64, error) {
 	for i, entry := range manifest {
 		snap, err := ReadSnapshot(io.LimitReader(tr, int64(entry.length)))
 		if err != nil {
-			return nil, 0, fmt.Errorf("index: reading bundle %v member: %w", entry.kind, err)
+			return reject("index: reading bundle %v member: %w", entry.kind, err)
 		}
 		if got := snap.Set.Kind(); got != entry.kind {
-			return nil, 0, fmt.Errorf("index: bundle %v member actually holds %v patterns", entry.kind, got)
+			return reject("index: bundle %v member actually holds %v patterns", entry.kind, got)
 		}
 		if got := snap.Set.Fingerprint(); got != hex.EncodeToString(entry.fingerprint[:]) {
-			return nil, 0, fmt.Errorf("index: bundle %v member fingerprint %.12s... does not match manifest %.12s...",
+			return reject("index: bundle %v member fingerprint %.12s... does not match manifest %.12s...",
 				entry.kind, got, hex.EncodeToString(entry.fingerprint[:]))
 		}
 		snaps[i] = snap
@@ -231,13 +328,13 @@ func ReadBundle(r io.Reader) ([]*Snapshot, uint64, error) {
 		return fail(err)
 	}
 	if !bytes.Equal(sum, stored[:]) {
-		return nil, 0, fmt.Errorf("index: bundle corrupted: stream checksum mismatch")
+		return reject("index: bundle corrupted: stream checksum mismatch")
 	}
 	var trailing [1]byte
 	if _, err := io.ReadFull(r, trailing[:]); err != io.EOF {
-		return nil, 0, fmt.Errorf("index: bundle has trailing data after checksum footer")
+		return reject("index: bundle has trailing data after checksum footer")
 	}
-	return snaps, generation, nil
+	return snaps, generation, info, nil
 }
 
 // WriteBundleFile saves a bundle atomically: it writes to a temp file in
@@ -245,12 +342,26 @@ func ReadBundle(r io.Reader) ([]*Snapshot, uint64, error) {
 // full disk mid-save never leaves a truncated bundle for the next boot
 // to trip over.
 func WriteBundleFile(path string, sets []*PatternSet, term func(id int) string, gen uint64) error {
+	return writeBundleFileWith(path, func(w io.Writer) error {
+		return WriteBundle(w, sets, term, gen)
+	})
+}
+
+// WriteBundleShardedFile is WriteBundleFile for one shard bundle, with
+// the same atomic temp-and-rename publication.
+func WriteBundleShardedFile(path string, sets []*PatternSet, term func(id int) string, gen uint64, info ShardInfo) error {
+	return writeBundleFileWith(path, func(w io.Writer) error {
+		return WriteBundleSharded(w, sets, term, gen, info)
+	})
+}
+
+func writeBundleFileWith(path string, write func(io.Writer) error) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".bundle-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if err := WriteBundle(tmp, sets, term, gen); err != nil {
+	if err := write(tmp); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -274,23 +385,31 @@ func WriteBundleFile(path string, sets []*PatternSet, term func(id int) string, 
 // bundle header's for a bundle, the snapshot's own for a bare snapshot;
 // 0 for any version-1 stream).
 func ReadStore(r io.Reader) ([]*Snapshot, uint64, error) {
+	snaps, gen, _, err := ReadStoreShard(r)
+	return snaps, gen, err
+}
+
+// ReadStoreShard is ReadStore plus the artifact's shard identity. A bare
+// snapshot or a pre-shard bundle reads as the whole partition (shard 0
+// of 1).
+func ReadStoreShard(r io.Reader) ([]*Snapshot, uint64, ShardInfo, error) {
 	br := bufio.NewReader(r)
 	magic, err := br.Peek(8)
 	if err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, 0, fmt.Errorf("index: input too short to be a snapshot or bundle")
+			return nil, 0, ShardInfo{}, fmt.Errorf("index: input too short to be a snapshot or bundle")
 		}
-		return nil, 0, fmt.Errorf("index: reading store: %w", err)
+		return nil, 0, ShardInfo{}, fmt.Errorf("index: reading store: %w", err)
 	}
 	switch string(magic) {
 	case bundleMagic:
-		return ReadBundle(br)
+		return ReadBundleShard(br)
 	case snapshotMagic:
 		snap, err := ReadSnapshot(br)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, ShardInfo{}, err
 		}
-		return []*Snapshot{snap}, snap.Generation, nil
+		return []*Snapshot{snap}, snap.Generation, ShardInfo{Shards: 1}, nil
 	}
-	return nil, 0, fmt.Errorf("index: not a pattern-index snapshot or bundle (bad magic %q)", magic)
+	return nil, 0, ShardInfo{}, fmt.Errorf("index: not a pattern-index snapshot or bundle (bad magic %q)", magic)
 }

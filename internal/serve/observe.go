@@ -53,6 +53,15 @@ func newObserver(srv *Server) *observer {
 	o.s.NewGaugeFunc("stserve_resident_indexes",
 		"Pattern indexes resident in the store.",
 		func() float64 { return float64(len(srv.store.Resident())) })
+	// Shard identity is immutable for the life of the store, but exposed
+	// as gauges so a cluster dashboard can assert every member reports
+	// the expected coordinates without scraping /v1/healthz.
+	o.s.NewGaugeFunc("stserve_shard_index",
+		"This server's shard index within the vocabulary partition (0 when unsharded).",
+		func() float64 { return float64(srv.store.ShardInfo().Shard) })
+	o.s.NewGaugeFunc("stserve_shard_count",
+		"Total shard count of the vocabulary partition (1 when unsharded).",
+		func() float64 { return float64(srv.store.ShardInfo().Shards) })
 	o.s.NewGaugeFunc("stserve_pending_ingest_docs",
 		"Documents buffered in the ingester awaiting a flush.",
 		func() float64 {

@@ -75,7 +75,13 @@ type Server struct {
 	reloadMu sync.Mutex
 	// points caches the stream locations for the combinatorial
 	// pattern-vs-region intersection checks.
-	points   []stburst.Point
+	points []stburst.Point
+	// fpOnce caches the corpus fingerprint reported by /v1/healthz and
+	// /v1/stats: the shard bundle's recorded checksum when it carries
+	// one, otherwise the collection checksum computed once on first use
+	// (a full corpus walk — too hot for a health probe to repeat).
+	fpOnce   sync.Once
+	fp       string
 	started  time.Time
 	requests atomic.Int64
 	searches atomic.Int64
@@ -156,8 +162,36 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
+// corpusFingerprint returns the fingerprint identifying the corpus this
+// server answers for: the shard bundle's recorded checksum when one was
+// mined in, else the boot-time collection checksum, computed lazily and
+// cached. On an ingesting server it identifies the corpus as mined —
+// the generation, not the fingerprint, tracks live mutation.
+func (s *Server) corpusFingerprint() string {
+	s.fpOnce.Do(func() {
+		if fp := s.store.ShardInfo().CorpusFingerprint; fp != "" {
+			s.fp = fp
+			return
+		}
+		s.fp = s.c.Checksum()
+	})
+	return s.fp
+}
+
+// handleHealthz answers the liveness probe. Beyond the legacy
+// {"status": "ok"} (still present, so existing probes keep matching),
+// the body carries the cheap membership facts a cluster gateway polls:
+// the store generation, the corpus fingerprint, and the shard identity.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	si := s.store.ShardInfo()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"generation":  s.store.Generation(),
+		"fingerprint": s.corpusFingerprint(),
+		"shard":       si.Shard,
+		"shards":      si.Shards,
+		"scheme":      si.Scheme,
+	})
 }
 
 // indexJSON is one resident index in /v1/indexes and /v1/stats.
@@ -200,12 +234,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.ing != nil {
 		pending = s.ing.Pending()
 	}
+	si := s.store.ShardInfo()
 	stats := map[string]any{
 		"indexes":        ixs,
 		"docs":           s.c.NumDocs(),
 		"streams":        s.c.NumStreams(),
 		"timeline":       s.c.Timeline(),
-		"generation":     s.store.Generation(),
+		"generation": s.store.Generation(),
+		// The corpus fingerprint lives inside the shard object: the legacy
+		// top-level "fingerprint" below is the first resident index's
+		// pattern fingerprint and must keep meaning exactly that.
+		"shard": map[string]any{
+			"shard":       si.Shard,
+			"shards":      si.Shards,
+			"scheme":      si.Scheme,
+			"fingerprint": s.corpusFingerprint(),
+		},
 		"ingest_enabled": s.ing != nil,
 		"pending_ingest": pending,
 		"uptime_seconds": time.Since(s.started).Seconds(),

@@ -65,16 +65,47 @@ type Store struct {
 	// Ingest fsyncs every batch to it before applying. Behind an atomic
 	// pointer so WALStats never blocks behind an in-flight ingest.
 	wal atomic.Pointer[wal.Log]
+	// shard is the store's immutable shard identity, recorded by
+	// LoadStore from a sharded bundle (whole-partition otherwise).
+	shard ShardInfo
 }
 
 // NewStore creates an empty store over the collection. Populate it with
 // Swap or Replace, or mine all kinds in one pass with
 // Collection.MineStore.
 func NewStore(c *Collection) *Store {
-	s := &Store{c: c}
+	s := &Store{c: c, shard: ShardInfo{Shards: 1}}
 	s.indexes.Store(new([3]*PatternIndex))
 	return s
 }
+
+// ShardInfo identifies which slice of a partitioned vocabulary a store
+// holds. A store mined or loaded whole is the entire partition: shard 0
+// of 1 with no scheme. A store loaded from an `stmine -shards` bundle
+// holds only the terms that hash to its shard under Scheme;
+// CorpusFingerprint is the checksum of the corpus the shard set was
+// mined from, shared by every member of the set.
+type ShardInfo struct {
+	Shard             int
+	Shards            int
+	Scheme            string
+	CorpusFingerprint string
+}
+
+// Sharded reports whether the store holds a true slice of a larger
+// partition rather than the whole vocabulary.
+func (si ShardInfo) Sharded() bool { return si.Shards > 1 }
+
+// TermShard returns the shard index owning a term under the canonical
+// vocabulary partition (the fnv1a64/term scheme stmine -shards writes).
+// Exported so out-of-process routers — the stgate coordinator — place
+// every term on the same shard the miner did.
+func TermShard(term string, shards int) int { return index.TermShard(term, shards) }
+
+// ShardInfo returns the store's shard identity, recorded at LoadStore
+// time from the bundle's shard block (whole-partition for any other
+// provenance). It is immutable for the life of the store.
+func (s *Store) ShardInfo() ShardInfo { return s.shard }
 
 // Generation returns the store's current generation: a monotonically
 // increasing counter bumped by every mutation (Swap, Replace, Ingest),
@@ -278,15 +309,7 @@ func (s *Store) Query(ctx context.Context, q Query) (ResultPage, error) {
 	if !queried {
 		return ResultPage{}, fmt.Errorf("%w: store holds no indexes", ErrKindNotResident)
 	}
-	sort.SliceStable(merged, func(i, j int) bool {
-		if merged[i].Score != merged[j].Score {
-			return merged[i].Score > merged[j].Score
-		}
-		if merged[i].Doc.ID != merged[j].Doc.ID {
-			return merged[i].Doc.ID < merged[j].Doc.ID
-		}
-		return merged[i].Kind < merged[j].Kind
-	})
+	SortHits(merged)
 	if q.Offset >= len(merged) {
 		return ResultPage{More: false}, nil
 	}
@@ -299,6 +322,25 @@ func (s *Store) Query(ctx context.Context, q Query) (ResultPage, error) {
 	out := make([]Hit, end-q.Offset)
 	copy(out, merged[q.Offset:end])
 	return ResultPage{Hits: out, More: more}, nil
+}
+
+// SortHits sorts hits into the store's canonical merged ranking:
+// descending score, ties broken by ascending document ID, then ascending
+// kind. This is the total order Store.Query's KindAny fan-out merges
+// per-kind rankings with, exported so an out-of-process merger (the
+// stgate scatter-gather coordinator) produces bit-identical pages. The
+// sort is stable, though the order is total whenever no two hits share
+// (score, doc, kind).
+func SortHits(hits []Hit) {
+	sort.SliceStable(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		if hits[i].Doc.ID != hits[j].Doc.ID {
+			return hits[i].Doc.ID < hits[j].Doc.ID
+		}
+		return hits[i].Kind < hits[j].Kind
+	})
 }
 
 // IngestResult reports one applied ingest batch.
@@ -535,10 +577,27 @@ func (s *Store) Save(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := index.WriteBundle(w, sets, s.c.col.Dict().Term, gen); err != nil {
+	if err := s.writeBundle(func(info index.ShardInfo) error {
+		if info.Shards > 1 {
+			return index.WriteBundleSharded(w, sets, s.c.col.Dict().Term, gen, info)
+		}
+		return index.WriteBundle(w, sets, s.c.col.Dict().Term, gen)
+	}); err != nil {
 		return err
 	}
 	return s.rotateWAL()
+}
+
+// writeBundle invokes write with the store's shard identity in the
+// bundle codec's terms, so a re-saved shard store keeps its shard block
+// (and an unsharded store keeps the plain portable format).
+func (s *Store) writeBundle(write func(index.ShardInfo) error) error {
+	return write(index.ShardInfo{
+		Shard:             s.shard.Shard,
+		Shards:            s.shard.Shards,
+		Scheme:            s.shard.Scheme,
+		CorpusFingerprint: s.shard.CorpusFingerprint,
+	})
 }
 
 // rotateWAL seals the attached log's active segment after a successful
@@ -567,7 +626,12 @@ func (s *Store) SaveFile(path string) error {
 	if err != nil {
 		return err
 	}
-	if err := index.WriteBundleFile(path, sets, s.c.col.Dict().Term, gen); err != nil {
+	if err := s.writeBundle(func(info index.ShardInfo) error {
+		if info.Shards > 1 {
+			return index.WriteBundleShardedFile(path, sets, s.c.col.Dict().Term, gen, info)
+		}
+		return index.WriteBundleFile(path, sets, s.c.col.Dict().Term, gen)
+	}); err != nil {
 		return err
 	}
 	return s.rotateWAL()
@@ -585,7 +649,7 @@ func (s *Store) SaveFile(path string) error {
 // collection. Any failure is an error; no partially loaded store is
 // returned.
 func LoadStore(r io.Reader, c *Collection) (*Store, error) {
-	snaps, gen, err := index.ReadStore(r)
+	snaps, gen, si, err := index.ReadStoreShard(r)
 	if err != nil {
 		return nil, fmt.Errorf("stburst: loading store: %w", err)
 	}
@@ -598,6 +662,12 @@ func LoadStore(r io.Reader, c *Collection) (*Store, error) {
 		ixs[i] = ix
 	}
 	s := NewStore(c)
+	s.shard = ShardInfo{
+		Shard:             si.Shard,
+		Shards:            si.Shards,
+		Scheme:            si.Scheme,
+		CorpusFingerprint: si.CorpusFingerprint,
+	}
 	if err := s.Replace(ixs...); err != nil {
 		return nil, fmt.Errorf("stburst: loading store: %w", err)
 	}
