@@ -15,24 +15,29 @@
 #   make loadtest    # the in-process stload smoke (what CI runs)
 #   make wal-smoke   # kill -9 a logging stserve mid-ingest, reboot, assert recovery
 #   make cluster-smoke # 3-shard stserve cluster behind stgate, stload at the gateway
+#   make alert-smoke # subscribe against a live stserve, ingest, assert webhook deliveries
 
 GO ?= go
 CORPUS ?= corpus.jsonl
 SNAPSHOT ?= snapshot.stb
 BUNDLE ?= corpus.bundle
 ADDR ?= :8080
-BENCH_JSON ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR9.json
 LOAD_ADDR ?= 127.0.0.1:8093
 LOAD_ARGS ?= -duration 10s -concurrency 8 -write-fraction 0.1
 WAL_ADDR ?= 127.0.0.1:8094
 WAL_TMP ?= walsmoke.tmp
 CLUSTER_GATE ?= 127.0.0.1:8095
 CLUSTER_TMP ?= clustersmoke.tmp
+ALERT_ADDR ?= 127.0.0.1:8099
+ALERT_SINK ?= 127.0.0.1:8100
+ALERT_TMP ?= alertsmoke.tmp
 BENCH_TIME ?= 1s
 # The serving-path benchmarks: retrieval (plain, filtered, store-routed,
-# KindAny fan-out), mining (per-kind batch, one-pass MineStore), and the
-# live write path (incremental ingest vs the full re-mine it replaces).
-BENCH_PATTERN ?= BenchmarkQuery|BenchmarkStoreQuery|BenchmarkMineAll|BenchmarkMineStore|BenchmarkIngest
+# KindAny fan-out), mining (per-kind batch, one-pass MineStore), the
+# live write path (incremental ingest vs the full re-mine it replaces),
+# and the post-ingest alert matcher as the registry grows 100x.
+BENCH_PATTERN ?= BenchmarkQuery|BenchmarkStoreQuery|BenchmarkMineAll|BenchmarkMineStore|BenchmarkIngest|BenchmarkAlertMatch
 # The smoke subset skips the corpus-wide mining benchmarks (tens of
 # seconds per iteration); the ingest pair stays in — its per-iteration
 # setup mines a small dedicated corpus, cheap enough for CI, and keeps
@@ -43,7 +48,7 @@ BENCH_SMOKE_PATTERN ?= BenchmarkQuery|BenchmarkStoreQuery|BenchmarkIngest
 # runs treat as up to date.
 .DELETE_ON_ERROR:
 
-.PHONY: all build vet test test-short race bench bench-json bench-smoke verify snapshot bundle serve load loadtest wal-smoke cluster-smoke
+.PHONY: all build vet test test-short race bench bench-json bench-smoke verify snapshot bundle serve load loadtest wal-smoke cluster-smoke alert-smoke
 
 all: build test
 
@@ -62,7 +67,7 @@ test-short: build
 race: build
 	$(GO) test -race -short ./...
 	$(GO) test -race -run 'TestMineAll|TestConcurrent|TestSearchAnswers|TestPatternIndex|TestLoaded|TestIngest|TestAppend|TestWAL' .
-	$(GO) test -race ./internal/serve/ ./internal/metrics/ ./internal/wal/ ./internal/gate/
+	$(GO) test -race ./internal/serve/ ./internal/metrics/ ./internal/wal/ ./internal/gate/ ./internal/sub/
 
 bench: build
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -210,3 +215,50 @@ cluster-smoke:
 	diff -u $(CLUSTER_TMP)/sent $(CLUSTER_TMP)/served || \
 		{ echo "cluster-smoke: gateway /metrics disagrees with the stload report (sent vs served above)" >&2; exit 1; }; \
 	echo "cluster-smoke: 3-shard scatter-gather clean — gateway counters match the stload report"
+
+# End-to-end alerting smoke over the real binaries: boot stserve with
+# ingestion and subscriptions armed, register a standing query whose
+# webhook points at an stsink receiver, push event bursts through
+# stload, and assert the sink logged >= 1 alert batch AND the server's
+# /metrics delivery counters agree with the sink's ledger — every alert
+# the server claims delivered landed in the file, none dropped. The
+# matcher/registry semantics are proven by the oracle tests; this step
+# proves the shipped binaries wire subscribe -> ingest -> re-mine ->
+# match -> webhook end to end.
+alert-smoke:
+	$(GO) build -o bin/stgen ./cmd/stgen
+	$(GO) build -o bin/stserve ./cmd/stserve
+	$(GO) build -o bin/stload ./cmd/stload
+	$(GO) build -o bin/stsink ./cmd/stsink
+	@set -e; \
+	rm -rf $(ALERT_TMP); mkdir -p $(ALERT_TMP); \
+	pids=""; trap 'kill $$pids 2>/dev/null || true; rm -rf $(ALERT_TMP)' EXIT; \
+	./bin/stgen -kind topix -seed 1 -articles 0.4 -vocab 300 -tokens 8 > $(ALERT_TMP)/corpus.jsonl; \
+	./bin/stsink -addr $(ALERT_SINK) -out $(ALERT_TMP)/alerts.jsonl & pids="$$pids $$!"; \
+	./bin/stserve -corpus $(ALERT_TMP)/corpus.jsonl -addr $(ALERT_ADDR) \
+		-method stlocal -ingest -subscriptions & pids="$$pids $$!"; \
+	for url in http://$(ALERT_SINK) http://$(ALERT_ADDR); do \
+		ok=0; for t in $$(seq 1 200); do \
+			curl -sf $$url/v1/healthz > /dev/null 2>&1 && { ok=1; break; }; sleep 0.3; \
+		done; \
+		test $$ok = 1 || { echo "alert-smoke: $$url never became healthy" >&2; exit 1; }; \
+	done; \
+	curl -sf -X POST -H 'Content-Type: application/json' \
+		-d '{"owner":"smoke","terms":["earthquake","rescue"],"webhook":"http://$(ALERT_SINK)/hook"}' \
+		http://$(ALERT_ADDR)/v1/subscriptions > /dev/null \
+		|| { echo "alert-smoke: subscription registration failed" >&2; exit 1; }; \
+	./bin/stload -target http://$(ALERT_ADDR) -requests 120 -seed 1 -concurrency 4 \
+		-write-fraction 1 -vocab 300 > $(ALERT_TMP)/load.json; \
+	ok=0; for t in $$(seq 1 200); do \
+		batches=$$(grep -c '"subscription_id"' $(ALERT_TMP)/alerts.jsonl 2>/dev/null || true); \
+		sunk=$$(grep -o '"count":[0-9]*' $(ALERT_TMP)/alerts.jsonl 2>/dev/null \
+			| awk -F: '{ s += $$2 } END { print s + 0 }'); \
+		delivered=$$(curl -sf http://$(ALERT_ADDR)/metrics \
+			| awk '/^stserve_alerts_delivered_total /{ print $$2 }'); \
+		test "$${batches:-0}" -ge 1 && test "$$delivered" = "$$sunk" && { ok=1; break; }; \
+		sleep 0.3; \
+	done; \
+	test $$ok = 1 || { echo "alert-smoke: sink saw $${batches:-0} batches ($$sunk alerts), server claims $$delivered delivered" >&2; exit 1; }; \
+	curl -sf http://$(ALERT_ADDR)/metrics | grep -q '^stserve_alerts_dropped_total 0$$' \
+		|| { echo "alert-smoke: server dropped deliveries" >&2; exit 1; }; \
+	echo "alert-smoke: webhook path live — $$batches batches, $$sunk alerts delivered, /metrics agrees"

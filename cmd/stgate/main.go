@@ -17,8 +17,10 @@
 // once, same shard count, partition scheme, corpus fingerprint and
 // store generation), and answers the read surface of the /v1 API —
 // search pages are bit-identical to an unsharded stserve over the same
-// corpus and patterns. See internal/gate for the protocol and the
-// strict failure policy.
+// corpus and patterns. The standing-query surface (/v1/subscriptions,
+// /v1/alerts/stream) answers 501: alert matching runs in the ingest
+// path, so subscriptions belong on an unsharded stserve. See
+// internal/gate for the protocol and the strict failure policy.
 package main
 
 import (

@@ -60,16 +60,17 @@ import (
 )
 
 type config struct {
-	target        string
-	seed          int64
-	requests      int
-	duration      time.Duration
-	concurrency   int
-	rate          float64
-	writeFraction float64
-	vocab         int
-	timeline      int
-	out           string
+	target            string
+	seed              int64
+	requests          int
+	duration          time.Duration
+	concurrency       int
+	rate              float64
+	writeFraction     float64
+	subscribeFraction float64
+	vocab             int
+	timeline          int
+	out               string
 }
 
 func main() {
@@ -150,6 +151,7 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop worker count (and open-loop in-flight cap)")
 	fs.Float64Var(&cfg.rate, "rate", 0, "open-loop dispatch rate in requests/sec (0 = closed loop)")
 	fs.Float64Var(&cfg.writeFraction, "write-fraction", 0, "fraction of ops that are ingest bursts (server must run -ingest)")
+	fs.Float64Var(&cfg.subscribeFraction, "subscribe-fraction", 0, "fraction of ops that are subscription CRUD (server must run -subscriptions)")
 	fs.IntVar(&cfg.vocab, "vocab", 6000, "background vocabulary size of the corpus under load")
 	fs.IntVar(&cfg.timeline, "timeline", 48, "timeline length of the corpus under load")
 	fs.StringVar(&cfg.out, "o", "", "write the JSON report here instead of stdout")
@@ -186,6 +188,13 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	}
 	if cfg.writeFraction < 0 || cfg.writeFraction > 1 {
 		return fail("-write-fraction must be in [0, 1], got %v", cfg.writeFraction)
+	}
+	if cfg.subscribeFraction < 0 || cfg.subscribeFraction > 1 {
+		return fail("-subscribe-fraction must be in [0, 1], got %v", cfg.subscribeFraction)
+	}
+	if cfg.writeFraction+cfg.subscribeFraction > 1 {
+		return fail("-write-fraction plus -subscribe-fraction must not exceed 1, got %v",
+			cfg.writeFraction+cfg.subscribeFraction)
 	}
 	if cfg.vocab < 2 {
 		return fail("-vocab must be at least 2, got %d", cfg.vocab)
@@ -399,14 +408,15 @@ func buildReport(cfg config, topo reportTopology, res *runResult) report {
 	rep := report{
 		Topology: topo,
 		Config: reportConfig{
-			Target:        cfg.target,
-			Seed:          cfg.seed,
-			Requests:      cfg.requests,
-			Concurrency:   cfg.concurrency,
-			Rate:          cfg.rate,
-			WriteFraction: cfg.writeFraction,
-			Vocab:         cfg.vocab,
-			Timeline:      cfg.timeline,
+			Target:            cfg.target,
+			Seed:              cfg.seed,
+			Requests:          cfg.requests,
+			Concurrency:       cfg.concurrency,
+			Rate:              cfg.rate,
+			WriteFraction:     cfg.writeFraction,
+			SubscribeFraction: cfg.subscribeFraction,
+			Vocab:             cfg.vocab,
+			Timeline:          cfg.timeline,
 		},
 		Workload: reportWorkload{
 			Ops:              int(res.ops.Load()),
@@ -456,5 +466,28 @@ func buildReport(cfg config, topo reportTopology, res *runResult) report {
 	if s := res.elapsed.Seconds(); s > 0 {
 		rep.Timing.QPS = float64(res.ops.Load()) / s
 	}
+	rep.Outcome.Subscriptions = subscriptionOutcomes(res)
 	return rep
+}
+
+// subscriptionOutcomes distills the CRUD op classes' per-status tallies
+// into the report's subscription outcome section: how many registrations
+// stuck, how many were rejected, and how many fetch/delete probes found
+// nothing. Absent entirely when the run sent no subscription ops.
+func subscriptionOutcomes(res *runResult) *reportSubscriptions {
+	sent := func(route string) int { return int(res.stats[route].sent.Load()) }
+	cls := func(route string, i int) int { return int(res.stats[route].byClass[i].Load()) }
+	if sent(routeSubCreate)+sent(routeSubList)+sent(routeSubGet)+sent(routeSubDelete) == 0 {
+		return nil
+	}
+	return &reportSubscriptions{
+		Creates:  sent(routeSubCreate),
+		Created:  cls(routeSubCreate, 1), // 2xx
+		Rejected: cls(routeSubCreate, 3), // 4xx: invalid spec or sealed surface
+		Lists:    sent(routeSubList),
+		Fetches:  sent(routeSubGet),
+		Deletes:  sent(routeSubDelete),
+		Deleted:  cls(routeSubDelete, 1),
+		NotFound: cls(routeSubGet, 3) + cls(routeSubDelete, 3),
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"stburst"
 	"stburst/internal/gen"
 	"stburst/internal/serve"
+	"stburst/internal/sub"
 )
 
 // bootTarget generates a small topix corpus (the full 181-country
@@ -99,8 +100,12 @@ func bootTarget(t *testing.T) (*httptest.Server, *serve.Server) {
 	// streams, and the smoke's ~45 ingest requests would otherwise spend
 	// half a minute re-mining one burst at a time.
 	ing := stburst.NewIngester(store, stburst.WithFlushDocs(16))
-	t.Cleanup(func() { ing.Close() })
 	handler.EnableIngest(ing)
+	handler.EnableSubscriptions(sub.DispatcherOptions{})
+	t.Cleanup(func() {
+		ing.Close()
+		handler.CloseSubscriptions()
+	})
 	ts := httptest.NewServer(handler)
 	t.Cleanup(ts.Close)
 	return ts, handler
@@ -124,6 +129,8 @@ func TestFlagValidation(t *testing.T) {
 		{"zero duration", []string{"-target", "http://x", "-duration", "0s"}},
 		{"negative rate", []string{"-target", "http://x", "-rate", "-5"}},
 		{"bad write fraction", []string{"-target", "http://x", "-write-fraction", "1.5"}},
+		{"bad subscribe fraction", []string{"-target", "http://x", "-subscribe-fraction", "1.5"}},
+		{"fractions exceed 1", []string{"-target", "http://x", "-write-fraction", "0.6", "-subscribe-fraction", "0.6"}},
 		{"zero concurrency", []string{"-target", "http://x", "-concurrency", "0"}},
 		{"tiny vocab", []string{"-target", "http://x", "-vocab", "1"}},
 		{"unknown flag", []string{"-target", "http://x", "-frobnicate"}},
@@ -243,7 +250,7 @@ func TestSmokeMixedLoad(t *testing.T) {
 	ts, handler := bootTarget(t)
 	code, stdout, stderr := runLoad(t,
 		"-target", ts.URL, "-requests", "300", "-seed", "1", "-concurrency", "8",
-		"-write-fraction", "0.15", "-vocab", "300")
+		"-write-fraction", "0.15", "-subscribe-fraction", "0.1", "-vocab", "300")
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, stderr)
 	}
@@ -275,6 +282,16 @@ func TestSmokeMixedLoad(t *testing.T) {
 	}
 	if !(search.P50Ms > 0 && search.P50Ms <= search.P99Ms && search.P99Ms <= search.MaxMs) {
 		t.Errorf("implausible search latencies: %+v", search)
+	}
+	subs := rep.Outcome.Subscriptions
+	if subs == nil {
+		t.Fatal("subscribe-fraction run produced no subscriptions outcome section")
+	}
+	if subs.Creates == 0 || subs.Created == 0 {
+		t.Errorf("expected successful subscription registrations, got %+v", subs)
+	}
+	if subs.Created+subs.Rejected > subs.Creates {
+		t.Errorf("inconsistent create accounting: %+v", subs)
 	}
 
 	// Cross-check against the server's own accounting. The topology

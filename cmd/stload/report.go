@@ -17,15 +17,16 @@ type report struct {
 }
 
 type reportConfig struct {
-	Target        string  `json:"target"`
-	Seed          int64   `json:"seed"`
-	Requests      int     `json:"requests,omitempty"`
-	Duration      string  `json:"duration,omitempty"`
-	Concurrency   int     `json:"concurrency"`
-	Rate          float64 `json:"rate,omitempty"`
-	WriteFraction float64 `json:"write_fraction"`
-	Vocab         int     `json:"vocab"`
-	Timeline      int     `json:"timeline"`
+	Target            string  `json:"target"`
+	Seed              int64   `json:"seed"`
+	Requests          int     `json:"requests,omitempty"`
+	Duration          string  `json:"duration,omitempty"`
+	Concurrency       int     `json:"concurrency"`
+	Rate              float64 `json:"rate,omitempty"`
+	WriteFraction     float64 `json:"write_fraction"`
+	SubscribeFraction float64 `json:"subscribe_fraction,omitempty"`
+	Vocab             int     `json:"vocab"`
+	Timeline          int     `json:"timeline"`
 }
 
 // reportTopology is the target's own account of what was under load,
@@ -56,6 +57,22 @@ type reportWorkload struct {
 type reportOutcome struct {
 	TransportErrors int            `json:"transport_errors"`
 	StatusByClass   map[string]int `json:"status_by_class"`
+	// Subscriptions tallies the -subscribe-fraction op class's outcomes
+	// (absent when the run sent no subscription CRUD). A fetch or delete
+	// probing an ID no registration produced is an honest not_found, not
+	// an error.
+	Subscriptions *reportSubscriptions `json:"subscriptions,omitempty"`
+}
+
+type reportSubscriptions struct {
+	Creates  int `json:"creates"`
+	Created  int `json:"created"`
+	Rejected int `json:"rejected"`
+	Lists    int `json:"lists"`
+	Fetches  int `json:"fetches"`
+	Deletes  int `json:"deletes"`
+	Deleted  int `json:"deleted"`
+	NotFound int `json:"not_found"`
 }
 
 type reportTiming struct {

@@ -23,9 +23,16 @@ const (
 	routeStats      = "GET /v1/stats"
 	routeGeneration = "GET /v1/generation"
 	routeDocuments  = "POST /v1/documents"
+	routeSubCreate  = "POST /v1/subscriptions"
+	routeSubList    = "GET /v1/subscriptions"
+	routeSubGet     = "GET /v1/subscriptions/{id}"
+	routeSubDelete  = "DELETE /v1/subscriptions/{id}"
 )
 
-var allRoutes = []string{routeSearch, routePatterns, routeStats, routeGeneration, routeDocuments}
+var allRoutes = []string{
+	routeSearch, routePatterns, routeStats, routeGeneration, routeDocuments,
+	routeSubCreate, routeSubList, routeSubGet, routeSubDelete,
+}
 
 // op is one fully materialized request: everything about it — route,
 // method, path, body — is a pure function of (seed, op index), so a run
@@ -96,15 +103,20 @@ func newWorkload(cfg config) (*workload, error) {
 }
 
 // op materializes request i. The mix: -write-fraction of the ops are
-// ingest bursts; the read remainder splits 60% zipf term queries, 25%
-// regional hotspot queries, 10% pattern lookups, 5% stats/generation.
+// ingest bursts, -subscribe-fraction are standing-query CRUD, and the
+// read remainder splits 60% zipf term queries, 25% regional hotspot
+// queries, 10% pattern lookups, 5% stats/generation.
 func (w *workload) op(i uint64) op {
 	rng := rand.New(rand.NewSource(int64(mix64(uint64(w.cfg.seed) ^ mix64(i)))))
 	r := rng.Float64()
 	if r < w.cfg.writeFraction {
 		return w.ingestOp(rng)
 	}
-	r = (r - w.cfg.writeFraction) / (1 - w.cfg.writeFraction)
+	if r < w.cfg.writeFraction+w.cfg.subscribeFraction {
+		return w.subscribeOp(rng)
+	}
+	r = (r - w.cfg.writeFraction - w.cfg.subscribeFraction) /
+		(1 - w.cfg.writeFraction - w.cfg.subscribeFraction)
 	switch {
 	case r < 0.60:
 		return w.termQueryOp(rng)
@@ -176,6 +188,35 @@ func (w *workload) patternsOp(rng *rand.Rand) op {
 		term = w.backgroundWord(rng)
 	}
 	return op{route: routePatterns, method: "GET", path: "/v1/patterns/" + url.PathEscape(term)}
+}
+
+// subscribeOp exercises the standing-query CRUD surface (server must
+// run -subscriptions): mostly registrations of event-derived predicates
+// (SSE-only — load runs have no webhook sink), the rest list/fetch/
+// delete. Fetch and delete draw IDs from a small deterministic range, so
+// some hit subscriptions this very run registered and the rest are
+// honest 404s — both are valid outcomes the report tallies.
+func (w *workload) subscribeOp(rng *rand.Rand) op {
+	r := rng.Float64()
+	switch {
+	case r < 0.40:
+		ev := w.event(rng)
+		spec := stburst.Subscription{
+			Owner:    "stload",
+			Terms:    []string{ev.Query[rng.Intn(len(ev.Query))]},
+			MinScore: rng.Float64(),
+		}
+		if rng.Float64() < 0.5 {
+			spec.Kind = stburst.Kinds()[rng.Intn(len(stburst.Kinds()))]
+		}
+		return jsonOp(routeSubCreate, "POST", "/v1/subscriptions", spec, 0)
+	case r < 0.60:
+		return op{route: routeSubList, method: "GET", path: "/v1/subscriptions"}
+	case r < 0.80:
+		return op{route: routeSubGet, method: "GET", path: fmt.Sprintf("/v1/subscriptions/%d", 1+rng.Intn(64))}
+	default:
+		return op{route: routeSubDelete, method: "DELETE", path: fmt.Sprintf("/v1/subscriptions/%d", 1+rng.Intn(64))}
+	}
 }
 
 func (w *workload) statsOp(rng *rand.Rand) op {

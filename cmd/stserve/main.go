@@ -39,6 +39,18 @@
 //	                         appended under traffic and only the dirty
 //	                         terms are re-mined, answered with 202 plus
 //	                         the new generation and dirty-term count
+//	POST /v1/subscriptions   register a standing query (requires
+//	                         -subscriptions): the body names terms plus an
+//	                         optional kind/region/time/min_score predicate
+//	                         and an optional webhook URL; after every ingest
+//	                         the freshly re-mined patterns of the batch's
+//	                         dirty terms are intersected against the
+//	                         predicate and matches are delivered. GET lists
+//	                         the registered queries, GET /{id} fetches one,
+//	                         DELETE /{id} removes one
+//	GET  /v1/alerts/stream   Server-Sent Events firehose of every alert
+//	                         batch the matcher produces (clients filter by
+//	                         subscription_id)
 //	GET  /v1/generation      the store generation — a counter every swap,
 //	                         reload and ingest advances, for cache-busting
 //	POST /v1/reload          atomically swap in freshly mined indexes from
@@ -104,6 +116,7 @@ import (
 
 	"stburst"
 	"stburst/internal/serve"
+	"stburst/internal/sub"
 )
 
 func main() {
@@ -117,6 +130,7 @@ func main() {
 		ingest         = flag.Bool("ingest", false, "enable the POST /v1/documents write surface")
 		ingestBatch    = flag.Int("ingest-batch", 1, "buffer this many documents before an ingest flush (1 = flush every request)")
 		ingestInterval = flag.Duration("ingest-interval", 0, "flush buffered documents at least this often (0 = only on batch size)")
+		subscriptions  = flag.Bool("subscriptions", false, "enable the /v1/subscriptions standing-query surface and the /v1/alerts/stream SSE feed")
 		walDir         = flag.String("wal-dir", "", "write-ahead log directory: log every ingest batch before applying it and replay the log on boot")
 		fsync          = flag.String("fsync", "always", "WAL fsync policy: always (acknowledged = durable) or never (faster, crash may lose batches)")
 	)
@@ -228,6 +242,16 @@ func main() {
 		handler.EnableIngest(ing)
 		log.Printf("live ingestion enabled (batch %d, interval %v)", *ingestBatch, *ingestInterval)
 	}
+	if *subscriptions {
+		// Bundles persist registered subscriptions; a loaded snapshot may
+		// already carry standing queries from a previous run.
+		handler.EnableSubscriptions(sub.DispatcherOptions{})
+		if !*ingest {
+			log.Printf("subscriptions enabled (%d registered) — note: without -ingest nothing re-mines, so alerts never fire", store.NumSubscriptions())
+		} else {
+			log.Printf("subscriptions enabled (%d registered)", store.NumSubscriptions())
+		}
+	}
 
 	// Recovery phase 2: with the indexes resident and the mine options
 	// recorded, re-mine whatever the snapshot had not absorbed, restore
@@ -282,6 +306,9 @@ func main() {
 			log.Printf("closing ingester: %v", cerr)
 		}
 	}
+	// After the final ingest flush, so its alerts still reach the queue;
+	// draining the dispatcher delivers every queued webhook batch.
+	handler.CloseSubscriptions()
 	if wal != nil {
 		// Only after the listener drained and the ingester flushed: the
 		// last batch must hit the log before the log closes.

@@ -1,0 +1,71 @@
+// Command stsink is a minimal webhook receiver for alert-delivery
+// smokes: it accepts every POST, appends each body as one line to -out
+// (stdout by default), and reports how many it has taken on
+// GET /v1/healthz — enough for a shell script to boot it, point an
+// stserve subscription's webhook at it, and assert deliveries arrived.
+//
+// Usage:
+//
+//	stsink -addr :8100 -out alerts.jsonl
+//	curl -s http://localhost:8100/v1/healthz   # {"status":"ok","received":N}
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+func main() {
+	addr := flag.String("addr", ":8100", "listen address")
+	out := flag.String("out", "", "append accepted POST bodies to this file, one per line (default stdout)")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("stsink: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var (
+		mu       sync.Mutex
+		received atomic.Int64
+	)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /", func(rw http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(rw, "reading body", http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		_, werr := w.Write(append(bytes.TrimRight(body, "\n"), '\n'))
+		mu.Unlock()
+		if werr != nil {
+			// Refuse the delivery rather than acknowledge a body that
+			// never reached the sink file; the dispatcher will retry.
+			log.Printf("stsink: writing body: %v", werr)
+			http.Error(rw, "sink write failed", http.StatusInternalServerError)
+			return
+		}
+		received.Add(1)
+		rw.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(rw, "{\"status\":\"ok\",\"received\":%d}\n", received.Load())
+	})
+
+	log.Printf("stsink listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	"stburst/internal/gen"
 	"stburst/internal/geo"
@@ -93,4 +95,113 @@ func Load(r io.Reader) (*stream.Collection, []int, error) {
 		labels = append(labels, d.Event)
 	}
 	return col, labels, sc.Err()
+}
+
+// AppendDocs atomically appends document lines to the corpus file at
+// path: the existing file is copied line by line to a temp file in the
+// same directory, the new lines are appended, and the temp file is
+// fsync'd and renamed over the original — a crash leaves either the old
+// corpus or the new one, never a torn tail. The pick callback receives
+// the number of document lines the existing file holds and returns the
+// lines to append, so a caller that may retry after a partial failure
+// (WAL absorption whose prune step crashed) can skip documents a
+// previous append already folded in; returning no lines leaves the file
+// untouched. The header is validated and preserved verbatim; appended
+// lines must reference its streams and timeline (enforced by the next
+// Load, not here). Document counts marshal with sorted keys, so the
+// appended bytes are deterministic.
+func AppendDocs(path string, pick func(existing int) []DocLine) (int, error) {
+	src, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("corpusio: %w", err)
+	}
+	defer src.Close()
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".absorb-*")
+	if err != nil {
+		return 0, fmt.Errorf("corpusio: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	w := bufio.NewWriter(tmp)
+	existing := -1 // the first line is the header, not a document
+	for sc.Scan() {
+		line := sc.Bytes()
+		if existing < 0 {
+			var h Header
+			if err := json.Unmarshal(line, &h); err != nil {
+				return 0, fmt.Errorf("corpusio: reading header: %w", err)
+			}
+			if h.Kind != "topix" {
+				return 0, fmt.Errorf("corpusio: unsupported corpus kind %q", h.Kind)
+			}
+		}
+		existing++
+		if _, err := w.Write(line); err != nil {
+			return 0, fmt.Errorf("corpusio: %w", err)
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return 0, fmt.Errorf("corpusio: %w", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("corpusio: reading corpus: %w", err)
+	}
+	if existing < 0 {
+		return 0, fmt.Errorf("corpusio: empty corpus (missing header line)")
+	}
+
+	docs := pick(existing)
+	if len(docs) == 0 {
+		return 0, nil
+	}
+	enc := json.NewEncoder(w)
+	for _, d := range docs {
+		if err := enc.Encode(d); err != nil {
+			return 0, fmt.Errorf("corpusio: appending document: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return 0, fmt.Errorf("corpusio: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return 0, fmt.Errorf("corpusio: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("corpusio: %w", err)
+	}
+	tmp = nil
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("corpusio: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return len(docs), err
+	}
+	return len(docs), nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("corpusio: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("corpusio: syncing directory: %w", err)
+	}
+	return nil
 }

@@ -3,6 +3,8 @@ package corpusio
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -43,6 +45,82 @@ func TestLoadRoundTrip(t *testing.T) {
 	// Stream locations must be projected (non-identical points).
 	if col.Stream(0).Location == col.Stream(1).Location {
 		t.Fatal("MDS projection collapsed the streams")
+	}
+}
+
+func TestAppendDocs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.jsonl")
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(Header{Kind: "topix", Streams: []string{"Peru", "Chile"}, Timeline: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(DocLine{Stream: "Peru", Time: 0, Counts: map[string]int{"a": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := AppendDocs(path, func(existing int) []DocLine {
+		if existing != 1 {
+			t.Fatalf("existing = %d, want 1", existing)
+		}
+		return []DocLine{{Stream: "Chile", Time: 2, Counts: map[string]int{"b": 2, "a": 1}}}
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("AppendDocs = %d, %v", n, err)
+	}
+
+	// Idempotent retry: pick sees the grown count and appends nothing;
+	// the file must be byte-identical afterwards.
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err = AppendDocs(path, func(existing int) []DocLine {
+		if existing != 2 {
+			t.Fatalf("retry existing = %d, want 2", existing)
+		}
+		return nil
+	})
+	if err != nil || n != 0 {
+		t.Fatalf("no-op AppendDocs = %d, %v", n, err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("no-op append modified the file")
+	}
+
+	col, _, err := Load(bytes.NewReader(after))
+	if err != nil {
+		t.Fatalf("Load after append: %v", err)
+	}
+	if col.NumDocs() != 2 {
+		t.Fatalf("NumDocs = %d, want 2", col.NumDocs())
+	}
+	id, ok := col.Dict().Lookup("b")
+	if !ok {
+		t.Fatal("appended term missing from the dictionary")
+	}
+	if s := col.Surface(id); s[1][2] != 2 {
+		t.Fatalf("appended surface wrong: %v", s)
+	}
+
+	// A non-topix file refuses before any write.
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte(`{"kind":"other"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendDocs(bad, func(int) []DocLine { return nil }); err == nil {
+		t.Fatal("append to a non-topix corpus should error")
+	}
+	if _, err := AppendDocs(filepath.Join(dir, "missing.jsonl"), func(int) []DocLine { return nil }); err == nil {
+		t.Fatal("append to a missing corpus should error")
 	}
 }
 

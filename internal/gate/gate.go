@@ -136,6 +136,16 @@ func New(cfg Config) (*Gateway, error) {
 	g.mux.HandleFunc("POST /v1/search", g.handleSearch)
 	g.mux.HandleFunc("GET /v1/patterns/{term}", g.handlePatterns)
 	g.mux.HandleFunc("POST /v1/documents", g.handleDocuments)
+	// Standing queries live on an unsharded stserve: the coordinator
+	// could fan CRUD out, but alert matching runs inside each member's
+	// ingest path and a per-shard view of a cross-shard predicate would
+	// fire partial (wrong) alerts. Answer 501 with the redirect story
+	// rather than 404, so clients learn the surface exists elsewhere.
+	g.mux.HandleFunc("POST /v1/subscriptions", g.handleSubscriptionsUnsupported)
+	g.mux.HandleFunc("GET /v1/subscriptions", g.handleSubscriptionsUnsupported)
+	g.mux.HandleFunc("GET /v1/subscriptions/{id}", g.handleSubscriptionsUnsupported)
+	g.mux.HandleFunc("DELETE /v1/subscriptions/{id}", g.handleSubscriptionsUnsupported)
+	g.mux.HandleFunc("GET /v1/alerts/stream", g.handleSubscriptionsUnsupported)
 	g.obs = newObserver(g)
 	g.mux.HandleFunc("GET /metrics", g.obs.handleMetrics)
 	return g, nil
@@ -629,4 +639,9 @@ func (v *clusterView) memberShard(m *member) int {
 func (g *Gateway) handleDocuments(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusForbidden,
 		"the gateway is read-only: shard members serve immutable shard bundles; re-mine with stmine -shards to update the cluster")
+}
+
+func (g *Gateway) handleSubscriptionsUnsupported(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotImplemented,
+		"subscriptions are not supported on a sharded cluster: alert matching runs in the ingest path and shard-local views of a cross-shard predicate would fire partial alerts; register on an unsharded stserve -subscriptions instead")
 }

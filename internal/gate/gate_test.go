@@ -558,6 +558,30 @@ func TestGatewaySurface(t *testing.T) {
 		t.Errorf("documents = %d, want 403: the gateway is read-only", rec.Code)
 	}
 
+	// The standing-query surface answers 501 with a JSON reason — not
+	// 404 — so clients learn the surface exists on unsharded stserve.
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodPost, "/v1/subscriptions"},
+		{http.MethodGet, "/v1/subscriptions"},
+		{http.MethodGet, "/v1/subscriptions/7"},
+		{http.MethodDelete, "/v1/subscriptions/7"},
+		{http.MethodGet, "/v1/alerts/stream"},
+	} {
+		rec := httptest.NewRecorder()
+		g.ServeHTTP(rec, httptest.NewRequest(probe.method, probe.path, nil))
+		if rec.Code != http.StatusNotImplemented {
+			t.Errorf("%s %s = %d, want 501", probe.method, probe.path, rec.Code)
+		}
+		var body map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s %s body is not JSON: %v", probe.method, probe.path, err)
+		}
+		reason, _ := body["error"].(string)
+		if !strings.Contains(reason, "unsharded stserve") {
+			t.Errorf("%s %s reason %q does not point at unsharded stserve", probe.method, probe.path, reason)
+		}
+	}
+
 	for _, bad := range []string{
 		`{"text":"x","nope":1}`, // unknown field
 		`{}`,                    // neither text nor terms

@@ -27,6 +27,11 @@ import (
 //	              tag (ShardScheme; ≤ 64 bytes)
 //	  corpusfp    [32]byte raw SHA-256 of the mined corpus (all zero
 //	              when unrecorded)
+//	subscriptions block (version ≥ 4 only; version 4 always carries the
+//	shard block too, degenerate shard 0 of 1 for an unsharded store):
+//	  nsubs       uint32   number of persisted standing queries
+//	  then, per subscription: uint32 length + that many bytes, an opaque
+//	  JSON blob the store layer owns (the codec never interprets it)
 //	then, for each member, one manifest entry:
 //	  kind        uint32   PatternKind; entries in strictly ascending order
 //	  length      uint64   byte length of the member's snapshot stream
@@ -58,11 +63,26 @@ const BundleVersion = 2
 // partition: shard 0 of 1.
 const ShardBundleVersion = 3
 
+// SubsBundleVersion is the codec version written by WriteBundleSubs:
+// version 3's layout (the shard block is always present, degenerate for
+// an unsharded store) plus a subscriptions block of opaque JSON blobs —
+// the persisted standing queries. Versions 1..3 read as zero
+// subscriptions, so every pre-subscription artifact stays loadable.
+const SubsBundleVersion = 4
+
 // minBundleVersion is the oldest codec version ReadBundle accepts.
 const minBundleVersion = 1
 
 // maxBundleMembers bounds the member count: one slot per pattern kind.
 const maxBundleMembers = 3
+
+// maxBundleSubs and maxBundleSubBytes bound the subscriptions block: a
+// count or length beyond them can only come from corrupted input and is
+// rejected before allocating.
+const (
+	maxBundleSubs     = 1 << 20
+	maxBundleSubBytes = 1 << 20
+)
 
 // WriteBundle serializes the given pattern sets as one bundle: a
 // manifest, then each set as an ordinary snapshot stream, then a stream
@@ -87,7 +107,28 @@ func WriteBundleSharded(w io.Writer, sets []*PatternSet, term func(id int) strin
 	if err := info.validate(); err != nil {
 		return err
 	}
-	return writeBundleShardVersion(w, sets, term, gen, ShardBundleVersion, info)
+	return writeBundleShardVersion(w, sets, term, gen, ShardBundleVersion, info, nil)
+}
+
+// WriteBundleSubs writes a version-4 bundle: WriteBundleSharded's layout
+// (info may be the degenerate whole-partition identity) plus the
+// subscriptions block — one opaque JSON blob per persisted standing
+// query, owned and interpreted entirely by the store layer. Readers of
+// earlier formats never see the block; readers of this format get the
+// blobs back byte-for-byte from ReadBundleSubs.
+func WriteBundleSubs(w io.Writer, sets []*PatternSet, term func(id int) string, gen uint64, info ShardInfo, subs [][]byte) error {
+	if err := info.validate(); err != nil {
+		return err
+	}
+	if len(subs) > maxBundleSubs {
+		return fmt.Errorf("index: bundle holds at most %d subscriptions, got %d", maxBundleSubs, len(subs))
+	}
+	for _, b := range subs {
+		if len(b) > maxBundleSubBytes {
+			return fmt.Errorf("index: bundle subscription record longer than %d bytes", maxBundleSubBytes)
+		}
+	}
+	return writeBundleShardVersion(w, sets, term, gen, SubsBundleVersion, info, subs)
 }
 
 // writeBundleVersion writes the bundle at a specific codec version.
@@ -95,12 +136,13 @@ func WriteBundleSharded(w io.Writer, sets []*PatternSet, term func(id int) strin
 // streams — has no generation field (gen is ignored) and version-1
 // member snapshots.
 func writeBundleVersion(w io.Writer, sets []*PatternSet, term func(id int) string, gen uint64, version uint32) error {
-	return writeBundleShardVersion(w, sets, term, gen, version, ShardInfo{Shards: 1})
+	return writeBundleShardVersion(w, sets, term, gen, version, ShardInfo{Shards: 1}, nil)
 }
 
 // writeBundleShardVersion is the single bundle encoder: versions 1 and 2
-// ignore info, version 3 appends the shard block after the generation.
-func writeBundleShardVersion(w io.Writer, sets []*PatternSet, term func(id int) string, gen uint64, version uint32, info ShardInfo) error {
+// ignore info, version 3 appends the shard block after the generation,
+// version 4 appends the subscriptions block after the shard block.
+func writeBundleShardVersion(w io.Writer, sets []*PatternSet, term func(id int) string, gen uint64, version uint32, info ShardInfo, subs [][]byte) error {
 	if len(sets) == 0 || len(sets) > maxBundleMembers {
 		return fmt.Errorf("index: bundle needs 1..%d member sets, got %d", maxBundleMembers, len(sets))
 	}
@@ -166,6 +208,21 @@ func writeBundleShardVersion(w io.Writer, sets []*PatternSet, term func(id int) 
 			return fmt.Errorf("index: writing bundle: %w", err)
 		}
 	}
+	if version >= SubsBundleVersion {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(len(subs)))
+		if _, err := out.Write(buf[:4]); err != nil {
+			return fmt.Errorf("index: writing bundle: %w", err)
+		}
+		for _, b := range subs {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(len(b)))
+			if _, err := out.Write(buf[:4]); err != nil {
+				return fmt.Errorf("index: writing bundle: %w", err)
+			}
+			if _, err := out.Write(b); err != nil {
+				return fmt.Errorf("index: writing bundle: %w", err)
+			}
+		}
+	}
 	for i, s := range sets {
 		binary.LittleEndian.PutUint32(buf[:4], uint32(s.Kind()))
 		if _, err := out.Write(buf[:4]); err != nil {
@@ -220,20 +277,28 @@ func ReadBundle(r io.Reader) ([]*Snapshot, uint64, error) {
 }
 
 // ReadBundleShard is ReadBundle plus the bundle's shard identity: the
-// shard block of a version-3 stream, or shard 0 of 1 for the earlier
+// shard block of a version-3+ stream, or shard 0 of 1 for the earlier
 // whole-vocabulary versions.
 func ReadBundleShard(r io.Reader) ([]*Snapshot, uint64, ShardInfo, error) {
+	snaps, gen, si, _, err := ReadBundleSubs(r)
+	return snaps, gen, si, err
+}
+
+// ReadBundleSubs is ReadBundleShard plus the persisted subscription
+// blobs of a version-4 stream (nil for every earlier version), returned
+// byte-for-byte as WriteBundleSubs stored them.
+func ReadBundleSubs(r io.Reader) ([]*Snapshot, uint64, ShardInfo, [][]byte, error) {
 	h := sha256.New()
 	tr := io.TeeReader(r, h)
 	info := ShardInfo{Shards: 1}
-	fail := func(err error) ([]*Snapshot, uint64, ShardInfo, error) {
+	fail := func(err error) ([]*Snapshot, uint64, ShardInfo, [][]byte, error) {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, 0, ShardInfo{}, fmt.Errorf("index: reading bundle: %w", err)
+		return nil, 0, ShardInfo{}, nil, fmt.Errorf("index: reading bundle: %w", err)
 	}
-	reject := func(format string, args ...any) ([]*Snapshot, uint64, ShardInfo, error) {
-		return nil, 0, ShardInfo{}, fmt.Errorf(format, args...)
+	reject := func(format string, args ...any) ([]*Snapshot, uint64, ShardInfo, [][]byte, error) {
+		return nil, 0, ShardInfo{}, nil, fmt.Errorf(format, args...)
 	}
 
 	var head [16]byte
@@ -244,8 +309,8 @@ func ReadBundleShard(r io.Reader) ([]*Snapshot, uint64, ShardInfo, error) {
 		return reject("index: not a pattern-index bundle (bad magic %q)", head[:8])
 	}
 	version := binary.LittleEndian.Uint32(head[8:12])
-	if version < minBundleVersion || version > ShardBundleVersion {
-		return reject("index: unsupported bundle version %d (want %d..%d)", version, minBundleVersion, ShardBundleVersion)
+	if version < minBundleVersion || version > SubsBundleVersion {
+		return reject("index: unsupported bundle version %d (want %d..%d)", version, minBundleVersion, SubsBundleVersion)
 	}
 	count := binary.LittleEndian.Uint32(head[12:16])
 	if count == 0 || count > maxBundleMembers {
@@ -284,6 +349,31 @@ func ReadBundleShard(r io.Reader) ([]*Snapshot, uint64, ShardInfo, error) {
 		}
 		if err := info.validate(); err != nil {
 			return reject("index: reading bundle: %v", err)
+		}
+	}
+	var subs [][]byte
+	if version >= SubsBundleVersion {
+		var n [4]byte
+		if _, err := io.ReadFull(tr, n[:]); err != nil {
+			return fail(err)
+		}
+		nsubs := binary.LittleEndian.Uint32(n[:])
+		if nsubs > maxBundleSubs {
+			return reject("index: bundle subscription count %d exceeds %d", nsubs, maxBundleSubs)
+		}
+		subs = make([][]byte, nsubs)
+		for i := range subs {
+			if _, err := io.ReadFull(tr, n[:]); err != nil {
+				return fail(err)
+			}
+			slen := binary.LittleEndian.Uint32(n[:])
+			if slen > maxBundleSubBytes {
+				return reject("index: bundle subscription record %d longer than %d bytes", i, maxBundleSubBytes)
+			}
+			subs[i] = make([]byte, slen)
+			if _, err := io.ReadFull(tr, subs[i]); err != nil {
+				return fail(err)
+			}
 		}
 	}
 
@@ -334,7 +424,7 @@ func ReadBundleShard(r io.Reader) ([]*Snapshot, uint64, ShardInfo, error) {
 	if _, err := io.ReadFull(r, trailing[:]); err != io.EOF {
 		return reject("index: bundle has trailing data after checksum footer")
 	}
-	return snaps, generation, info, nil
+	return snaps, generation, info, subs, nil
 }
 
 // WriteBundleFile saves a bundle atomically: it writes to a temp file in
@@ -352,6 +442,15 @@ func WriteBundleFile(path string, sets []*PatternSet, term func(id int) string, 
 func WriteBundleShardedFile(path string, sets []*PatternSet, term func(id int) string, gen uint64, info ShardInfo) error {
 	return writeBundleFileWith(path, func(w io.Writer) error {
 		return WriteBundleSharded(w, sets, term, gen, info)
+	})
+}
+
+// WriteBundleSubsFile is WriteBundleFile for a version-4 bundle carrying
+// persisted subscriptions, with the same atomic temp-and-rename
+// publication.
+func WriteBundleSubsFile(path string, sets []*PatternSet, term func(id int) string, gen uint64, info ShardInfo, subs [][]byte) error {
+	return writeBundleFileWith(path, func(w io.Writer) error {
+		return WriteBundleSubs(w, sets, term, gen, info, subs)
 	})
 }
 
@@ -393,23 +492,31 @@ func ReadStore(r io.Reader) ([]*Snapshot, uint64, error) {
 // snapshot or a pre-shard bundle reads as the whole partition (shard 0
 // of 1).
 func ReadStoreShard(r io.Reader) ([]*Snapshot, uint64, ShardInfo, error) {
+	snaps, gen, si, _, err := ReadStoreSubs(r)
+	return snaps, gen, si, err
+}
+
+// ReadStoreSubs is ReadStoreShard plus the artifact's persisted
+// subscription blobs: those of a version-4 bundle, nil for every earlier
+// bundle version and for bare snapshots.
+func ReadStoreSubs(r io.Reader) ([]*Snapshot, uint64, ShardInfo, [][]byte, error) {
 	br := bufio.NewReader(r)
 	magic, err := br.Peek(8)
 	if err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, 0, ShardInfo{}, fmt.Errorf("index: input too short to be a snapshot or bundle")
+			return nil, 0, ShardInfo{}, nil, fmt.Errorf("index: input too short to be a snapshot or bundle")
 		}
-		return nil, 0, ShardInfo{}, fmt.Errorf("index: reading store: %w", err)
+		return nil, 0, ShardInfo{}, nil, fmt.Errorf("index: reading store: %w", err)
 	}
 	switch string(magic) {
 	case bundleMagic:
-		return ReadBundleShard(br)
+		return ReadBundleSubs(br)
 	case snapshotMagic:
 		snap, err := ReadSnapshot(br)
 		if err != nil {
-			return nil, 0, ShardInfo{}, err
+			return nil, 0, ShardInfo{}, nil, err
 		}
-		return []*Snapshot{snap}, snap.Generation, ShardInfo{Shards: 1}, nil
+		return []*Snapshot{snap}, snap.Generation, ShardInfo{Shards: 1}, nil, nil
 	}
-	return nil, 0, ShardInfo{}, fmt.Errorf("index: not a pattern-index snapshot or bundle (bad magic %q)", magic)
+	return nil, 0, ShardInfo{}, nil, fmt.Errorf("index: not a pattern-index snapshot or bundle (bad magic %q)", magic)
 }

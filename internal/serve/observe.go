@@ -9,6 +9,7 @@ import (
 
 	"stburst"
 	"stburst/internal/metrics"
+	"stburst/internal/sub"
 )
 
 // observer is the server's metrics surface: per-route request counters
@@ -25,6 +26,9 @@ type observer struct {
 	routes sync.Map // string -> *routeInstruments
 	mu     sync.Mutex
 	srv    *Server
+	// alertLatency times webhook deliveries (enqueue to 2xx); the
+	// dispatcher's OnDelivery hook feeds it.
+	alertLatency *metrics.Histogram
 }
 
 // routeInstruments holds one route's counters (indexed by status class)
@@ -100,6 +104,50 @@ func newObserver(srv *Server) *observer {
 	o.s.NewGaugeFunc("stserve_wal_syncs_total",
 		"Fsyncs performed by the write-ahead log since it opened.",
 		walStat(func(st stburst.WALStats) float64 { return float64(st.Syncs) }))
+	// Standing-query metrics are registered whether or not -subscriptions
+	// armed the surface (everything reads 0 when disabled), keeping the
+	// exposition stable across deployments. The dispatcher/broker reads
+	// are nil-safe: EnableSubscriptions runs before traffic, like
+	// EnableIngest, but a scrape may land on a server that never arms it.
+	o.s.NewGaugeFunc("stserve_subscriptions",
+		"Standing queries currently registered.",
+		func() float64 { return float64(srv.store.NumSubscriptions()) })
+	o.s.NewGaugeFunc("stserve_alerts_matched_total",
+		"Alerts the post-ingest matcher has produced.",
+		func() float64 { return float64(srv.alertsMatched.Load()) })
+	dispStat := func(f func(sub.DispatcherStats) float64) func() float64 {
+		return func() float64 {
+			d := srv.dispatcher
+			if d == nil {
+				return 0
+			}
+			return f(d.Stats())
+		}
+	}
+	o.s.NewGaugeFunc("stserve_alerts_delivered_total",
+		"Alerts successfully POSTed to subscriber webhooks.",
+		dispStat(func(ds sub.DispatcherStats) float64 { return float64(ds.DeliveredAlerts) }))
+	o.s.NewGaugeFunc("stserve_alerts_dropped_total",
+		"Alerts abandoned because the delivery queue was full or every retry failed.",
+		dispStat(func(ds sub.DispatcherStats) float64 { return float64(ds.DroppedAlerts) }))
+	o.s.NewGaugeFunc("stserve_sse_clients",
+		"Connected /v1/alerts/stream clients.",
+		func() float64 {
+			if srv.broker == nil {
+				return 0
+			}
+			return float64(srv.broker.Clients())
+		})
+	o.s.NewGaugeFunc("stserve_sse_dropped_events_total",
+		"SSE events dropped on full client buffers.",
+		func() float64 {
+			if srv.broker == nil {
+				return 0
+			}
+			return float64(srv.broker.Dropped())
+		})
+	o.alertLatency = o.s.NewHistogram("stserve_alert_delivery_seconds",
+		"Webhook delivery latency from enqueue to 2xx, in seconds.", nil)
 	return o
 }
 

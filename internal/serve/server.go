@@ -24,6 +24,7 @@ import (
 	"stburst"
 	"stburst/internal/geo"
 	"stburst/internal/search"
+	"stburst/internal/sub"
 )
 
 // server is the HTTP query layer over one collection and one multi-kind
@@ -46,6 +47,11 @@ import (
 //	GET  /v1/generation      the store generation, for cache-busting
 //	POST /v1/reload          atomically reload the snapshot/bundle from disk
 //	                         (the cold-path alternative to /v1/documents)
+//	POST /v1/subscriptions   register a standing query (requires
+//	                         -subscriptions); GET lists, GET/{id} fetches,
+//	                         DELETE /{id} removes
+//	GET  /v1/alerts/stream   Server-Sent Events feed of every alert batch
+//	                         the post-ingest matcher produces
 //	GET  /v1/stats           index and traffic statistics
 //	GET  /v1/healthz         liveness probe
 //
@@ -87,8 +93,16 @@ type Server struct {
 	searches atomic.Int64
 	reloads  atomic.Int64
 	ingests  atomic.Int64 // documents accepted through POST /v1/documents
-	mux      *http.ServeMux
-	obs      *observer
+	// Standing queries: false/nil until EnableSubscriptions arms the
+	// surface (the -subscriptions flag gates it, like -ingest gates the
+	// write surface). alertsMatched counts every alert the post-ingest
+	// matcher handed the sink, before delivery fan-out.
+	subsEnabled   bool
+	dispatcher    *sub.Dispatcher
+	broker        *sub.Broker
+	alertsMatched atomic.Int64
+	mux           *http.ServeMux
+	obs           *observer
 }
 
 // New wires the endpoint handlers. snapshotPath may be empty, in
@@ -111,6 +125,13 @@ func New(c *stburst.Collection, store *stburst.Store, snapshotPath string) *Serv
 	s.mux.HandleFunc("POST /v1/documents", s.handleDocuments)
 	s.mux.HandleFunc("GET /v1/patterns/{term}", s.handlePatterns)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearchV1)
+	// The standing-query surface: registered unconditionally so the
+	// routes answer a clean 403 (not 404) until -subscriptions arms them.
+	s.mux.HandleFunc("POST /v1/subscriptions", s.handleSubscriptionCreate)
+	s.mux.HandleFunc("GET /v1/subscriptions", s.handleSubscriptionList)
+	s.mux.HandleFunc("GET /v1/subscriptions/{id}", s.handleSubscriptionGet)
+	s.mux.HandleFunc("DELETE /v1/subscriptions/{id}", s.handleSubscriptionDelete)
+	s.mux.HandleFunc("GET /v1/alerts/stream", s.handleAlertStream)
 	// Legacy aliases, kept verbatim for pre-/v1 clients.
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -258,6 +279,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"reloads":        s.reloads.Load(),
 		"ingested_docs":  s.ingests.Load(),
 	}
+	// Standing queries: the enabled flag distinguishes "surface sealed"
+	// from "no one subscribed yet"; delivery counters appear only when a
+	// dispatcher exists, mirroring the WAL block below.
+	subsStats := map[string]any{
+		"enabled":        s.subsEnabled,
+		"count":          s.store.NumSubscriptions(),
+		"matched_alerts": s.alertsMatched.Load(),
+	}
+	if d := s.dispatcher; d != nil {
+		ds := d.Stats()
+		subsStats["delivered_alerts"] = ds.DeliveredAlerts
+		subsStats["dropped_alerts"] = ds.DroppedAlerts
+	}
+	if b := s.broker; b != nil {
+		subsStats["sse_clients"] = b.Clients()
+	}
+	stats["subscriptions"] = subsStats
 	// Durability: absent entirely (enabled=false) without a WAL, so
 	// dashboards can tell "no log configured" from "log at sequence 0".
 	if wst, ok := s.store.WALStats(); ok {

@@ -1,0 +1,273 @@
+package sub
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Batch is one delivery unit: every alert a single ingest produced for
+// a single subscription, already marshaled by the caller. Batching is
+// the fan-out contract — one ingest matching N patterns for one
+// subscriber costs one POST and one SSE event, not N.
+type Batch struct {
+	// SubscriptionID identifies the subscriber the batch belongs to.
+	SubscriptionID uint64
+	// URL is the webhook target; empty batches are SSE-only.
+	URL string
+	// Alerts counts the alerts inside Body, for accounting.
+	Alerts int
+	// Body is the JSON payload to POST / stream.
+	Body []byte
+}
+
+// DispatcherStats is a point-in-time snapshot of delivery accounting.
+type DispatcherStats struct {
+	// DeliveredBatches / DeliveredAlerts count successful webhook POSTs
+	// and the alerts they carried.
+	DeliveredBatches uint64
+	DeliveredAlerts  uint64
+	// DroppedBatches / DroppedAlerts count batches abandoned because
+	// the queue was full or every retry failed.
+	DroppedBatches uint64
+	DroppedAlerts  uint64
+}
+
+// DispatcherOptions tune the webhook dispatcher; the zero value picks
+// the documented defaults.
+type DispatcherOptions struct {
+	// Workers is the number of concurrent delivery goroutines
+	// (default 4).
+	Workers int
+	// QueueLen bounds the pending-batch queue; a full queue drops the
+	// newest batch rather than stalling ingest (default 256).
+	QueueLen int
+	// Retries is the number of attempts per batch (default 3).
+	Retries int
+	// Backoff is the sleep after the first failed attempt, doubled per
+	// retry (default 100ms).
+	Backoff time.Duration
+	// Timeout bounds each POST (default 5s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests); nil uses a client with
+	// the configured Timeout.
+	Client *http.Client
+	// OnDelivery, when non-nil, observes the wall-clock seconds each
+	// successful delivery took (queue wait + POST), feeding the
+	// latency histogram.
+	OnDelivery func(seconds float64)
+}
+
+// Dispatcher POSTs alert batches to subscriber webhooks from a bounded
+// queue with bounded retry — delivery is at-most-once per batch, and
+// a slow or dead sink can never back-pressure the ingest path.
+type Dispatcher struct {
+	opts   DispatcherOptions
+	client *http.Client
+	queue  chan queued
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	deliveredBatches atomic.Uint64
+	deliveredAlerts  atomic.Uint64
+	droppedBatches   atomic.Uint64
+	droppedAlerts    atomic.Uint64
+}
+
+type queued struct {
+	b        Batch
+	enqueued time.Time
+}
+
+// NewDispatcher starts the delivery workers.
+func NewDispatcher(opts DispatcherOptions) *Dispatcher {
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.QueueLen <= 0 {
+		opts.QueueLen = 256
+	}
+	if opts.Retries <= 0 {
+		opts.Retries = 3
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 100 * time.Millisecond
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	d := &Dispatcher{opts: opts, client: opts.Client}
+	if d.client == nil {
+		d.client = &http.Client{Timeout: opts.Timeout}
+	}
+	d.queue = make(chan queued, opts.QueueLen)
+	d.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go d.worker()
+	}
+	return d
+}
+
+// Enqueue hands a batch to the delivery workers without blocking: when
+// the queue is full the batch is dropped and counted, keeping ingest
+// latency independent of sink health.
+func (d *Dispatcher) Enqueue(b Batch) {
+	if b.URL == "" || d.closed.Load() {
+		return
+	}
+	select {
+	case d.queue <- queued{b: b, enqueued: time.Now()}:
+	default:
+		d.droppedBatches.Add(1)
+		d.droppedAlerts.Add(uint64(b.Alerts))
+	}
+}
+
+// Stats snapshots the delivery counters.
+func (d *Dispatcher) Stats() DispatcherStats {
+	return DispatcherStats{
+		DeliveredBatches: d.deliveredBatches.Load(),
+		DeliveredAlerts:  d.deliveredAlerts.Load(),
+		DroppedBatches:   d.droppedBatches.Load(),
+		DroppedAlerts:    d.droppedAlerts.Load(),
+	}
+}
+
+// Close stops accepting batches, drains the queue and waits for the
+// workers to finish their in-flight deliveries.
+func (d *Dispatcher) Close() {
+	if d.closed.Swap(true) {
+		return
+	}
+	close(d.queue)
+	d.wg.Wait()
+}
+
+func (d *Dispatcher) worker() {
+	defer d.wg.Done()
+	for q := range d.queue {
+		if d.deliver(q.b) {
+			d.deliveredBatches.Add(1)
+			d.deliveredAlerts.Add(uint64(q.b.Alerts))
+			if d.opts.OnDelivery != nil {
+				d.opts.OnDelivery(time.Since(q.enqueued).Seconds())
+			}
+		} else {
+			d.droppedBatches.Add(1)
+			d.droppedAlerts.Add(uint64(q.b.Alerts))
+		}
+	}
+}
+
+// deliver attempts the POST up to Retries times with doubling backoff.
+// Any 2xx is success; everything else (including transport errors)
+// retries until attempts run out.
+func (d *Dispatcher) deliver(b Batch) bool {
+	backoff := d.opts.Backoff
+	for attempt := 0; attempt < d.opts.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if d.post(b) {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Dispatcher) post(b Batch) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), d.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.URL, bytes.NewReader(b.Body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// Broker fans alert batches out to SSE clients. Publish never blocks:
+// each client has a bounded buffer and a client that falls behind has
+// events dropped (counted per client) rather than stalling ingest or
+// other clients.
+type Broker struct {
+	mu      sync.Mutex
+	nextID  uint64
+	clients map[uint64]*client
+	dropped atomic.Uint64
+}
+
+type client struct {
+	ch chan []byte
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{clients: make(map[uint64]*client)}
+}
+
+// Subscribe registers an SSE client and returns its event channel and
+// a cancel function. buffer bounds how many pending events the client
+// may lag before events are dropped.
+func (b *Broker) Subscribe(buffer int) (<-chan []byte, func()) {
+	if buffer <= 0 {
+		buffer = 16
+	}
+	c := &client{ch: make(chan []byte, buffer)}
+	b.mu.Lock()
+	b.nextID++
+	id := b.nextID
+	b.clients[id] = c
+	b.mu.Unlock()
+	cancel := func() {
+		b.mu.Lock()
+		if _, ok := b.clients[id]; ok {
+			delete(b.clients, id)
+			close(c.ch)
+		}
+		b.mu.Unlock()
+	}
+	return c.ch, cancel
+}
+
+// Publish fans one event body out to every connected client,
+// non-blocking; full client buffers drop the event for that client.
+func (b *Broker) Publish(body []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, c := range b.clients {
+		select {
+		case c.ch <- body:
+		default:
+			b.dropped.Add(1)
+		}
+	}
+}
+
+// Clients returns the number of connected SSE clients.
+func (b *Broker) Clients() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.clients)
+}
+
+// Dropped returns the number of events dropped on full client buffers.
+func (b *Broker) Dropped() uint64 {
+	return b.dropped.Load()
+}
+
+// FormatEvent renders one SSE frame ("event: alert\ndata: ...\n\n").
+// The body must be a single line (compact JSON).
+func FormatEvent(body []byte) []byte {
+	return []byte(fmt.Sprintf("event: alert\ndata: %s\n\n", body))
+}

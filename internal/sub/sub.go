@@ -1,0 +1,206 @@
+// Package sub implements the standing-query subsystem behind burst
+// alerting: a concurrent subscription registry with an inverted
+// term→subscription index (so post-ingest matching costs O(dirty
+// terms), never O(subscriptions)), and the delivery layer — a webhook
+// dispatcher with bounded retry and an SSE broker — that turns matches
+// into pushed alerts.
+//
+// The package deliberately knows nothing about pattern mining: the
+// store's ingest path owns the matching (it holds the fresh indexes and
+// the dirty-term set) and hands finished alert batches to the delivery
+// layer here. The registry's Subscription is the predicate in internal
+// terms (normalized term strings, a geo rectangle, a timespan, a kind
+// ordinal); the root package converts its public Query-shaped form to
+// and from this one.
+package sub
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"stburst/internal/geo"
+	"stburst/internal/search"
+)
+
+// Subscription is one registered standing query.
+type Subscription struct {
+	// ID is the registry-assigned identifier, unique for the life of
+	// the registry (and, once persisted, of the store).
+	ID uint64
+	// Owner is a free-form label identifying who registered the query.
+	Owner string
+	// Terms are the normalized (collection-tokenizer) term strings the
+	// subscription watches. Matching is keyed on strings, not interned
+	// IDs: a standing query may name vocabulary the corpus has not seen
+	// yet, and must start matching the moment ingestion interns it.
+	Terms []string
+	// Kind is the pattern kind ordinal the subscription watches: 0
+	// matches every kind, 1..3 the concrete kinds in the root package's
+	// canonical order (regional, combinatorial, temporal).
+	Kind int
+	// Region, when non-nil, requires the matching pattern to intersect
+	// the rectangle (per-kind geometry, shared with retrieval).
+	Region *geo.Rect
+	// Time, when non-nil, requires the matching pattern's timeframe to
+	// overlap the span.
+	Time *search.Timespan
+	// MinScore drops patterns scoring below the threshold.
+	MinScore float64
+	// Webhook is the delivery URL alert batches are POSTed to; empty
+	// means the subscription is observed through the SSE feed only.
+	Webhook string
+}
+
+// clone deep-copies the subscription so registry internals never alias
+// caller-held slices or pointers.
+func (s Subscription) clone() Subscription {
+	c := s
+	c.Terms = append([]string(nil), s.Terms...)
+	if s.Region != nil {
+		r := *s.Region
+		c.Region = &r
+	}
+	if s.Time != nil {
+		t := *s.Time
+		c.Time = &t
+	}
+	return c
+}
+
+// Registry is a concurrent subscription store with an inverted
+// term→subscriptions index. Reads (Candidates, Get, List) take the
+// read lock; mutations are rare next to ingest-path lookups.
+type Registry struct {
+	mu     sync.RWMutex
+	subs   map[uint64]Subscription
+	byTerm map[string]map[uint64]struct{}
+	nextID uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		subs:   make(map[uint64]Subscription),
+		byTerm: make(map[string]map[uint64]struct{}),
+	}
+}
+
+// Add registers a subscription, assigns it the next free ID and returns
+// the stored form. Terms must be non-empty — a termless subscription
+// would have no inverted-index home and silently never match.
+func (r *Registry) Add(s Subscription) (Subscription, error) {
+	if len(s.Terms) == 0 {
+		return Subscription{}, fmt.Errorf("sub: subscription needs at least one term")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	s.ID = r.nextID
+	r.insertLocked(s.clone())
+	return s.clone(), nil
+}
+
+// Restore re-registers a persisted subscription under its saved ID —
+// the load path's Add. A duplicate or zero ID is an error; the ID
+// counter advances past every restored ID so later Adds never collide.
+func (r *Registry) Restore(s Subscription) error {
+	if len(s.Terms) == 0 {
+		return fmt.Errorf("sub: subscription %d has no terms", s.ID)
+	}
+	if s.ID == 0 {
+		return fmt.Errorf("sub: cannot restore a subscription without an ID")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.subs[s.ID]; ok {
+		return fmt.Errorf("sub: duplicate subscription ID %d", s.ID)
+	}
+	if s.ID > r.nextID {
+		r.nextID = s.ID
+	}
+	r.insertLocked(s.clone())
+	return nil
+}
+
+// insertLocked indexes one subscription; callers hold the write lock
+// and pass an already-cloned value.
+func (r *Registry) insertLocked(s Subscription) {
+	r.subs[s.ID] = s
+	for _, t := range s.Terms {
+		m := r.byTerm[t]
+		if m == nil {
+			m = make(map[uint64]struct{})
+			r.byTerm[t] = m
+		}
+		m[s.ID] = struct{}{}
+	}
+}
+
+// Remove deletes a subscription, reporting whether it existed.
+func (r *Registry) Remove(id uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.subs[id]
+	if !ok {
+		return false
+	}
+	delete(r.subs, id)
+	for _, t := range s.Terms {
+		if m := r.byTerm[t]; m != nil {
+			delete(m, id)
+			if len(m) == 0 {
+				delete(r.byTerm, t)
+			}
+		}
+	}
+	return true
+}
+
+// Get returns a copy of one subscription.
+func (r *Registry) Get(id uint64) (Subscription, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.subs[id]
+	if !ok {
+		return Subscription{}, false
+	}
+	return s.clone(), true
+}
+
+// List returns copies of every subscription in ascending ID order.
+func (r *Registry) List() []Subscription {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Subscription, 0, len(r.subs))
+	for _, s := range r.subs {
+		out = append(out, s.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Count returns the number of registered subscriptions.
+func (r *Registry) Count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.subs)
+}
+
+// Candidates returns copies of the subscriptions watching a term — the
+// inverted-index lookup the post-ingest matcher does once per dirty
+// term. A term nobody watches costs one map probe.
+func (r *Registry) Candidates(term string) []Subscription {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m := r.byTerm[term]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]Subscription, 0, len(m))
+	for id := range m {
+		out = append(out, r.subs[id].clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

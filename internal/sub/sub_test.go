@@ -1,0 +1,242 @@
+package sub
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stburst/internal/geo"
+	"stburst/internal/search"
+)
+
+func TestRegistryAddGetRemove(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Add(Subscription{Owner: "x"}); err == nil {
+		t.Fatalf("Add with no terms should fail")
+	}
+	s1, err := r.Add(Subscription{Owner: "alice", Terms: []string{"quake", "tremor"}, MinScore: 1.5})
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if s1.ID != 1 {
+		t.Fatalf("first ID = %d, want 1", s1.ID)
+	}
+	s2, err := r.Add(Subscription{Owner: "bob", Terms: []string{"quake"}, Kind: 2})
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if s2.ID != 2 {
+		t.Fatalf("second ID = %d, want 2", s2.ID)
+	}
+	if got := r.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	got, ok := r.Get(1)
+	if !ok || got.Owner != "alice" || len(got.Terms) != 2 || got.MinScore != 1.5 {
+		t.Fatalf("Get(1) = %+v ok=%v", got, ok)
+	}
+	if cands := r.Candidates("quake"); len(cands) != 2 || cands[0].ID != 1 || cands[1].ID != 2 {
+		t.Fatalf("Candidates(quake) = %+v", cands)
+	}
+	if cands := r.Candidates("tremor"); len(cands) != 1 || cands[0].ID != 1 {
+		t.Fatalf("Candidates(tremor) = %+v", cands)
+	}
+	if cands := r.Candidates("nobody"); cands != nil {
+		t.Fatalf("Candidates(nobody) = %+v, want nil", cands)
+	}
+	if !r.Remove(1) {
+		t.Fatalf("Remove(1) = false")
+	}
+	if r.Remove(1) {
+		t.Fatalf("Remove(1) twice = true")
+	}
+	if cands := r.Candidates("tremor"); cands != nil {
+		t.Fatalf("after remove, Candidates(tremor) = %+v", cands)
+	}
+	if cands := r.Candidates("quake"); len(cands) != 1 || cands[0].ID != 2 {
+		t.Fatalf("after remove, Candidates(quake) = %+v", cands)
+	}
+	list := r.List()
+	if len(list) != 1 || list[0].ID != 2 {
+		t.Fatalf("List = %+v", list)
+	}
+}
+
+func TestRegistryCopiesAreDeep(t *testing.T) {
+	r := NewRegistry()
+	region := &geo.Rect{MinX: -1, MinY: -1, MaxX: 1, MaxY: 1}
+	span := &search.Timespan{Start: 2, End: 5}
+	in := Subscription{Owner: "o", Terms: []string{"a"}, Region: region, Time: span}
+	added, err := r.Add(in)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	// Mutating what the caller handed in (or got back) must not leak
+	// into the registry.
+	region.MaxX = 99
+	span.End = 99
+	added.Terms[0] = "zzz"
+	got, _ := r.Get(added.ID)
+	if got.Region.MaxX != 1 || got.Time.End != 5 || got.Terms[0] != "a" {
+		t.Fatalf("registry aliased caller memory: %+v", got)
+	}
+}
+
+func TestRegistryRestore(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Restore(Subscription{ID: 7, Terms: []string{"x"}}); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if err := r.Restore(Subscription{ID: 7, Terms: []string{"y"}}); err == nil {
+		t.Fatalf("duplicate Restore should fail")
+	}
+	if err := r.Restore(Subscription{Terms: []string{"y"}}); err == nil {
+		t.Fatalf("zero-ID Restore should fail")
+	}
+	s, err := r.Add(Subscription{Terms: []string{"z"}})
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if s.ID != 8 {
+		t.Fatalf("Add after Restore(7) assigned ID %d, want 8", s.ID)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s, err := r.Add(Subscription{Terms: []string{"hot", "cold"}})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				r.Candidates("hot")
+				r.List()
+				r.Remove(s.ID)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Count(); got != 0 {
+		t.Fatalf("Count after churn = %d, want 0", got)
+	}
+}
+
+func TestDispatcherDeliversAndRetries(t *testing.T) {
+	var hits atomic.Int64
+	var failFirst atomic.Bool
+	failFirst.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if failFirst.Swap(false) {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	d := NewDispatcher(DispatcherOptions{Workers: 1, Retries: 3, Backoff: time.Millisecond})
+	d.Enqueue(Batch{SubscriptionID: 1, URL: srv.URL, Alerts: 3, Body: []byte(`{"a":1}`)})
+	d.Close()
+
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("sink hit %d times, want 2 (one failure + one success)", got)
+	}
+	st := d.Stats()
+	if st.DeliveredBatches != 1 || st.DeliveredAlerts != 3 || st.DroppedBatches != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDispatcherDropsAfterRetriesExhausted(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	d := NewDispatcher(DispatcherOptions{Workers: 1, Retries: 2, Backoff: time.Millisecond})
+	d.Enqueue(Batch{SubscriptionID: 1, URL: srv.URL, Alerts: 2, Body: []byte(`{}`)})
+	d.Close()
+
+	st := d.Stats()
+	if st.DroppedBatches != 1 || st.DroppedAlerts != 2 || st.DeliveredBatches != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDispatcherQueueOverflowDrops(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+
+	d := NewDispatcher(DispatcherOptions{Workers: 1, QueueLen: 1, Retries: 1, Timeout: 5 * time.Second})
+	// First batch occupies the worker, second fills the queue, third
+	// must be dropped without blocking.
+	for i := 0; i < 3; i++ {
+		d.Enqueue(Batch{SubscriptionID: 1, URL: srv.URL, Alerts: 1, Body: []byte(`{}`)})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Stats().DroppedBatches == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st := d.Stats(); st.DroppedBatches == 0 {
+		t.Fatalf("expected an overflow drop, stats = %+v", st)
+	}
+	close(block)
+	d.Close()
+}
+
+func TestBrokerFanOutAndSlowClientDrop(t *testing.T) {
+	b := NewBroker()
+	fast, cancelFast := b.Subscribe(4)
+	slow, cancelSlow := b.Subscribe(1)
+	defer cancelFast()
+	defer cancelSlow()
+	if b.Clients() != 2 {
+		t.Fatalf("Clients = %d, want 2", b.Clients())
+	}
+	b.Publish([]byte("one"))
+	b.Publish([]byte("two")) // overflows slow's buffer of 1
+	if got := string(<-fast); got != "one" {
+		t.Fatalf("fast got %q", got)
+	}
+	if got := string(<-fast); got != "two" {
+		t.Fatalf("fast got %q", got)
+	}
+	if got := string(<-slow); got != "one" {
+		t.Fatalf("slow got %q", got)
+	}
+	select {
+	case extra := <-slow:
+		t.Fatalf("slow client should have dropped, got %q", extra)
+	default:
+	}
+	if b.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", b.Dropped())
+	}
+	cancelSlow()
+	if b.Clients() != 1 {
+		t.Fatalf("Clients after cancel = %d, want 1", b.Clients())
+	}
+	// Double-cancel is safe.
+	cancelSlow()
+}
+
+func TestFormatEvent(t *testing.T) {
+	got := string(FormatEvent([]byte(`{"x":1}`)))
+	want := "event: alert\ndata: {\"x\":1}\n\n"
+	if got != want {
+		t.Fatalf("FormatEvent = %q, want %q", got, want)
+	}
+}

@@ -411,6 +411,30 @@ func writeSegmentHeader(f *os.File) error {
 	return nil
 }
 
+// SealedBatches re-reads every sealed (rotated-away) segment and returns
+// its batches in sequence order, plus the sequence number of the last
+// sealed frame — the argument a caller passes to Prune once those
+// batches are durable elsewhere. The active segment's frames are
+// excluded: rotation has not sealed them yet. Sealed segments are
+// immutable, so re-scanning them applies the same integrity checks the
+// open-time scan did; any anomaly is a hard error.
+func (l *Log) SealedBatches() ([]Batch, uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var batches []Batch
+	var prevSeq, last uint64
+	seenAny := false
+	for _, m := range l.sealed {
+		res, err := scanSegment(filepath.Join(l.dir, m.name), false, &prevSeq, &seenAny)
+		if err != nil {
+			return nil, 0, fmt.Errorf("wal: segment %s: %w", m.name, err)
+		}
+		batches = append(batches, res.batches...)
+		last = res.lastSeq
+	}
+	return batches, last, nil
+}
+
 // Prune deletes sealed segments whose every frame has sequence number
 // <= seq. The active segment is never deleted. Pruning is safe only
 // once the logged batches are durable elsewhere — for this store, once

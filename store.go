@@ -11,8 +11,10 @@ import (
 
 	"stburst/internal/burst"
 	"stburst/internal/core"
+	"stburst/internal/corpusio"
 	"stburst/internal/index"
 	"stburst/internal/search"
+	"stburst/internal/sub"
 	"stburst/internal/wal"
 )
 
@@ -65,16 +67,27 @@ type Store struct {
 	// Ingest fsyncs every batch to it before applying. Behind an atomic
 	// pointer so WALStats never blocks behind an in-flight ingest.
 	wal atomic.Pointer[wal.Log]
+	// walPrune, when non-empty, is the corpus file save-time pruning
+	// absorbs sealed WAL segments into (WithWALPrune). Written once by
+	// AttachWAL, before the log is armed; read only by Save.
+	walPrune string
 	// shard is the store's immutable shard identity, recorded by
 	// LoadStore from a sharded bundle (whole-partition otherwise).
 	shard ShardInfo
+	// subs holds the registered standing queries (see subscribe.go);
+	// Ingest matches each batch's dirty terms against them after the
+	// refreshed indexes install, and Save persists them in the bundle.
+	subs *sub.Registry
+	// alertSink, when set, receives each Ingest's matched alerts once
+	// writeMu is released (SetAlertSink).
+	alertSink atomic.Pointer[AlertSink]
 }
 
 // NewStore creates an empty store over the collection. Populate it with
 // Swap or Replace, or mine all kinds in one pass with
 // Collection.MineStore.
 func NewStore(c *Collection) *Store {
-	s := &Store{c: c, shard: ShardInfo{Shards: 1}}
+	s := &Store{c: c, shard: ShardInfo{Shards: 1}, subs: sub.NewRegistry()}
 	s.indexes.Store(new([3]*PatternIndex))
 	return s
 }
@@ -404,7 +417,14 @@ var ErrIngestIncomplete = errors.New("stburst: ingest appended documents but the
 // freshness, never corrupt it; the batch's WAL entry is left intact,
 // so a crash before that repair heals on replay. On a store with no
 // resident indexes, Ingest just appends and bumps the generation.
+//
+// After a successful refresh, the dirty terms' freshly installed
+// patterns are matched against the registered standing queries
+// (Subscribe) and any alerts are handed to the alert sink
+// (SetAlertSink) once the write lock is released.
 func (s *Store) Ingest(ctx context.Context, docs []IncomingDocument) (IngestResult, error) {
+	var alerts []Alert
+	defer func() { s.emitAlerts(alerts) }() // registered first: runs after writeMu unlocks
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	if err := ctx.Err(); err != nil {
@@ -479,6 +499,7 @@ func (s *Store) Ingest(ctx context.Context, docs []IncomingDocument) (IngestResu
 		return IngestResult{Generation: s.gen.Add(1), Docs: len(docs), DirtyTerms: len(dirty)}, nil
 	}
 	s.staleDirty = nil
+	alerts = s.matchDirtyLocked(dirty)
 	return IngestResult{Generation: s.Generation(), Docs: len(docs), DirtyTerms: len(dirty)}, nil
 }
 
@@ -558,26 +579,37 @@ func (s *Store) residentSets() ([]*index.PatternSet, error) {
 // fingerprint, followed by the members as ordinary snapshot streams and
 // a stream checksum over the whole file (see DESIGN.md for the layout).
 // The store's current Generation is recorded in the v2 header and
-// restored by LoadStore. LoadStore verifies all of it on the way back
-// in. An empty store cannot be saved. Save serializes against writers
+// restored by LoadStore, and any registered standing queries are
+// persisted in a v4 subscriptions block (a store without them keeps the
+// earlier byte-exact formats). LoadStore verifies all of it on the way
+// back in. An empty store cannot be saved. Save serializes against writers
 // (Swap/Replace/Ingest), so the recorded generation always matches the
 // serialized indexes — never one mutation's number on another's data.
 //
 // With a write-ahead log attached, a successful save rotates the log:
 // the active segment seals and a fresh one opens, so segment files
-// stay bounded under sustained ingestion. The sealed segments are NOT
-// deleted — a bundle persists patterns, not documents, so the logged
-// batches remain the only durable copy of the appended documents until
-// the corpus file itself absorbs them (see DESIGN.md).
+// stay bounded under sustained ingestion. By default the sealed
+// segments are NOT deleted — a bundle persists patterns, not
+// documents, so the logged batches remain the only durable copy of the
+// appended documents. A log opened WithWALPrune goes further: the
+// sealed batches are absorbed into the corpus file itself (atomically)
+// and only then are the sealed segments deleted (see DESIGN.md).
 func (s *Store) Save(w io.Writer) error {
 	s.writeMu.Lock()
 	sets, err := s.residentSets()
 	gen := s.Generation()
+	var subBlobs [][]byte
+	if err == nil {
+		subBlobs, err = s.subscriptionBlobs()
+	}
 	s.writeMu.Unlock()
 	if err != nil {
 		return err
 	}
 	if err := s.writeBundle(func(info index.ShardInfo) error {
+		if len(subBlobs) > 0 {
+			return index.WriteBundleSubs(w, sets, s.c.col.Dict().Term, gen, info, subBlobs)
+		}
 		if info.Shards > 1 {
 			return index.WriteBundleSharded(w, sets, s.c.col.Dict().Term, gen, info)
 		}
@@ -601,7 +633,10 @@ func (s *Store) writeBundle(write func(index.ShardInfo) error) error {
 }
 
 // rotateWAL seals the attached log's active segment after a successful
-// save; a rotation failure surfaces (the bundle itself is intact).
+// save; a rotation failure surfaces (the bundle itself is intact). When
+// the log was opened WithWALPrune, the sealed segments are then
+// absorbed into the corpus file and deleted (absorbWAL), so the log
+// stays bounded instead of growing forever.
 func (s *Store) rotateWAL() error {
 	l := s.wal.Load()
 	if l == nil {
@@ -609,6 +644,62 @@ func (s *Store) rotateWAL() error {
 	}
 	if err := l.Rotate(); err != nil {
 		return fmt.Errorf("stburst: rotating wal after save: %w", err)
+	}
+	if s.walPrune == "" {
+		return nil
+	}
+	return s.absorbWAL(l)
+}
+
+// absorbWAL makes the sealed segments' documents durable in the corpus
+// file itself — the step that licenses deleting them from the log. The
+// corpus is rewritten atomically (temp copy + rename), so a crash
+// leaves either the old file with the log intact, or the new file with
+// the log intact (ReplayWAL then skips the doubly-held batches); only
+// after the rename do the sealed segments go. Batches a previous
+// absorb already folded in (its prune failed) are skipped, and a batch
+// that does not abut the file's document count aborts the whole
+// absorption — the file is not the corpus this collection was loaded
+// from, and appending to it would corrupt the next boot.
+func (s *Store) absorbWAL(l *wal.Log) error {
+	batches, last, err := l.SealedBatches()
+	if err != nil {
+		return fmt.Errorf("stburst: pruning wal after save: %w", err)
+	}
+	if len(batches) == 0 {
+		return nil
+	}
+	var abutErr error
+	_, err = corpusio.AppendDocs(s.walPrune, func(existing int) []corpusio.DocLine {
+		var lines []corpusio.DocLine
+		for _, b := range batches {
+			if b.BaseDocs+uint64(len(b.Docs)) <= uint64(existing) {
+				continue // an earlier save absorbed it; only its prune failed
+			}
+			if b.BaseDocs != uint64(existing)+uint64(len(lines)) {
+				abutErr = fmt.Errorf(
+					"stburst: wal batch %d was logged at document count %d but the corpus file holds %d — refusing to absorb into a file that is not this store's corpus",
+					b.Seq, b.BaseDocs, uint64(existing)+uint64(len(lines)))
+				return nil
+			}
+			for _, d := range b.Docs {
+				lines = append(lines, corpusio.DocLine{
+					Stream: s.c.col.Stream(d.Stream).Name,
+					Time:   d.Time,
+					Counts: d.Counts,
+				})
+			}
+		}
+		return lines
+	})
+	if err != nil {
+		return fmt.Errorf("stburst: absorbing wal into corpus: %w", err)
+	}
+	if abutErr != nil {
+		return abutErr
+	}
+	if err := l.Prune(last); err != nil {
+		return fmt.Errorf("stburst: pruning wal after save: %w", err)
 	}
 	return nil
 }
@@ -622,11 +713,18 @@ func (s *Store) SaveFile(path string) error {
 	s.writeMu.Lock()
 	sets, err := s.residentSets()
 	gen := s.Generation()
+	var subBlobs [][]byte
+	if err == nil {
+		subBlobs, err = s.subscriptionBlobs()
+	}
 	s.writeMu.Unlock()
 	if err != nil {
 		return err
 	}
 	if err := s.writeBundle(func(info index.ShardInfo) error {
+		if len(subBlobs) > 0 {
+			return index.WriteBundleSubsFile(path, sets, s.c.col.Dict().Term, gen, info, subBlobs)
+		}
 		if info.Shards > 1 {
 			return index.WriteBundleShardedFile(path, sets, s.c.col.Dict().Term, gen, info)
 		}
@@ -649,7 +747,7 @@ func (s *Store) SaveFile(path string) error {
 // collection. Any failure is an error; no partially loaded store is
 // returned.
 func LoadStore(r io.Reader, c *Collection) (*Store, error) {
-	snaps, gen, si, err := index.ReadStoreShard(r)
+	snaps, gen, si, subBlobs, err := index.ReadStoreSubs(r)
 	if err != nil {
 		return nil, fmt.Errorf("stburst: loading store: %w", err)
 	}
@@ -675,5 +773,10 @@ func LoadStore(r io.Reader, c *Collection) (*Store, error) {
 	// predates generations and resumes from 0); the Replace above only
 	// counts as a mutation within this process.
 	s.gen.Store(gen)
+	// Re-register the persisted standing queries under their saved IDs
+	// (a pre-subscription artifact simply has none).
+	if err := s.restoreSubscriptions(subBlobs); err != nil {
+		return nil, fmt.Errorf("stburst: loading store: %w", err)
+	}
 	return s, nil
 }

@@ -1,0 +1,369 @@
+package stburst
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"sort"
+
+	"stburst/internal/search"
+	"stburst/internal/sub"
+)
+
+// Subscription is a standing query registered with a Store: the paper's
+// push scenario. Where a Query asks "which documents are bursty about X
+// here, now?" once, a Subscription asks it forever — after every Ingest
+// the store intersects the freshly re-mined patterns of the batch's
+// dirty terms against the predicate and emits an Alert per (term, kind)
+// that matches.
+//
+// The predicate is the Query shape minus pagination: Terms (required,
+// normalized through the collection's tokenizer on registration), an
+// optional concrete Kind (KindAny watches every resident kind), optional
+// Region/Time restricting pattern geometry exactly as in retrieval
+// (regional windows intersect through their rectangle, combinatorial
+// patterns through member-stream locations, temporal intervals through
+// their timeframe only), and MinScore dropping patterns scoring below
+// the threshold — here a pattern score, since a standing query watches
+// patterns, not ranked documents.
+//
+// Webhook, when set, is the URL alert batches are POSTed to; a
+// subscription without one is observable through the SSE feed only.
+type Subscription struct {
+	ID       uint64    `json:"id,omitempty"`
+	Owner    string    `json:"owner,omitempty"`
+	Terms    []string  `json:"terms"`
+	Kind     Kind      `json:"kind,omitempty"`
+	Region   *Rect     `json:"region,omitempty"`
+	Time     *Timespan `json:"time,omitempty"`
+	MinScore float64   `json:"min_score,omitempty"`
+	Webhook  string    `json:"webhook,omitempty"`
+}
+
+// Validate checks the subscription's predicate by reusing Query.Validate
+// on its Query shape (so the rules — non-inverted Region/Time, finite
+// MinScore, a valid Kind — are literally the retrieval rules), then adds
+// the subscription-only constraints: Terms is required (a standing query
+// must name what it watches; free Text is a retrieval convenience, not a
+// predicate), and Webhook, when present, must be an absolute http(s)
+// URL.
+func (s Subscription) Validate() error {
+	if len(s.Terms) == 0 {
+		return fmt.Errorf("stburst: subscription needs at least one term")
+	}
+	q := Query{Terms: s.Terms, Kind: s.Kind, Region: s.Region, Time: s.Time, MinScore: s.MinScore}
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	if s.Webhook != "" {
+		u, err := url.Parse(s.Webhook)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("stburst: subscription webhook must be an absolute http(s) URL")
+		}
+	}
+	return nil
+}
+
+// Alert reports one standing-query match: an Ingest re-mined one of the
+// subscription's terms and at least one fresh pattern of the given kind
+// satisfied the predicate. Patterns counts how many did; Score and
+// [Start, End] summarize the best of them (highest score, first mined on
+// ties). Generation is the store generation the matching index set was
+// installed at — responses observed under it include the triggering
+// batch.
+type Alert struct {
+	SubscriptionID uint64  `json:"subscription_id"`
+	Owner          string  `json:"owner,omitempty"`
+	Generation     uint64  `json:"generation"`
+	Term           string  `json:"term"`
+	Kind           Kind    `json:"kind"`
+	Score          float64 `json:"score"`
+	Patterns       int     `json:"patterns"`
+	Start          int     `json:"start"`
+	End            int     `json:"end"`
+}
+
+// AlertSink receives the alerts one Ingest produced, after its refreshed
+// indexes were installed and the write lock released. Alerts are sorted
+// by (subscription, term, kind) and a sink call carries every match of
+// exactly one batch — the delivery layer's batching boundary. The sink
+// runs on the ingesting goroutine: implementations must hand off
+// quickly (the serving layer enqueues to a bounded dispatcher) and never
+// call back into the store's write path.
+type AlertSink func(alerts []Alert)
+
+// SetAlertSink installs the function Ingest hands matched alerts to (nil
+// disconnects). The store owns matching; the sink owns delivery.
+func (s *Store) SetAlertSink(sink AlertSink) {
+	if sink == nil {
+		s.alertSink.Store(nil)
+		return
+	}
+	s.alertSink.Store(&sink)
+}
+
+// Subscribe validates and registers a standing query, returning the
+// stored form: ID assigned, terms normalized through the collection's
+// tokenizer (a multi-word entry contributes every token, duplicates
+// collapse). Terms the collection has never seen are accepted — unlike a
+// one-shot Query, a standing query naturally watches vocabulary that
+// only future ingestion will intern — but every entry must survive
+// tokenization.
+func (s *Store) Subscribe(spec Subscription) (Subscription, error) {
+	if err := spec.Validate(); err != nil {
+		return Subscription{}, err
+	}
+	terms, err := s.normalizeTerms(spec.Terms)
+	if err != nil {
+		return Subscription{}, err
+	}
+	spec.Terms = terms
+	added, err := s.subs.Add(toInternalSub(spec))
+	if err != nil {
+		return Subscription{}, err
+	}
+	return fromInternalSub(added), nil
+}
+
+// normalizeTerms tokenizes every entry (each token contributes) and
+// deduplicates, preserving first-seen order.
+func (s *Store) normalizeTerms(terms []string) ([]string, error) {
+	var out []string
+	seen := make(map[string]struct{}, len(terms))
+	for _, t := range terms {
+		toks := s.c.tok.Tokenize(t)
+		if len(toks) == 0 {
+			return nil, fmt.Errorf("stburst: subscription term %q tokenizes to nothing", t)
+		}
+		for _, tok := range toks {
+			if _, dup := seen[tok]; dup {
+				continue
+			}
+			seen[tok] = struct{}{}
+			out = append(out, tok)
+		}
+	}
+	return out, nil
+}
+
+// Unsubscribe removes a standing query, reporting whether it existed.
+func (s *Store) Unsubscribe(id uint64) bool { return s.subs.Remove(id) }
+
+// LookupSubscription returns one registered standing query.
+func (s *Store) LookupSubscription(id uint64) (Subscription, bool) {
+	is, ok := s.subs.Get(id)
+	if !ok {
+		return Subscription{}, false
+	}
+	return fromInternalSub(is), true
+}
+
+// Subscriptions lists every registered standing query in ascending ID
+// order.
+func (s *Store) Subscriptions() []Subscription {
+	internal := s.subs.List()
+	out := make([]Subscription, len(internal))
+	for i, is := range internal {
+		out[i] = fromInternalSub(is)
+	}
+	return out
+}
+
+// NumSubscriptions returns the number of registered standing queries.
+func (s *Store) NumSubscriptions() int { return s.subs.Count() }
+
+// toInternalSub converts the public subscription (already validated and
+// normalized) to the registry's internal form.
+func toInternalSub(s Subscription) sub.Subscription {
+	is := sub.Subscription{
+		ID:       s.ID,
+		Owner:    s.Owner,
+		Terms:    s.Terms,
+		Kind:     int(s.Kind),
+		MinScore: s.MinScore,
+		Webhook:  s.Webhook,
+	}
+	if s.Region != nil {
+		r := *s.Region
+		is.Region = &r
+	}
+	if s.Time != nil {
+		is.Time = &search.Timespan{Start: s.Time.Start, End: s.Time.End}
+	}
+	return is
+}
+
+// fromInternalSub converts back to the public form.
+func fromInternalSub(is sub.Subscription) Subscription {
+	s := Subscription{
+		ID:       is.ID,
+		Owner:    is.Owner,
+		Terms:    is.Terms,
+		Kind:     Kind(is.Kind),
+		MinScore: is.MinScore,
+		Webhook:  is.Webhook,
+	}
+	if is.Region != nil {
+		r := *is.Region
+		s.Region = &r
+	}
+	if is.Time != nil {
+		s.Time = &Timespan{Start: is.Time.Start, End: is.Time.End}
+	}
+	return s
+}
+
+// matchDirtyLocked intersects the freshly installed patterns of the
+// dirty terms against the registered standing queries and returns the
+// resulting alerts; callers hold writeMu and call it immediately after
+// the refreshed index set is installed, so s.indexes and s.gen describe
+// exactly the state the batch produced.
+//
+// Cost is O(dirty terms): each dirty term is one inverted-index probe,
+// and only terms somebody watches pay for pattern evaluation. The total
+// registered-subscription count never enters the loop — the property the
+// BenchmarkAlertMatch suite pins down.
+func (s *Store) matchDirtyLocked(dirty []int) []Alert {
+	if s.subs.Count() == 0 {
+		return nil
+	}
+	resident := s.indexes.Load()
+	gen := s.Generation()
+	dict := s.c.col.Dict()
+	points := s.c.col.Points()
+
+	// Deterministic alert order: ascending term ID, then the registry's
+	// ascending-ID candidate order, then kind.
+	terms := append([]int(nil), dirty...)
+	sort.Ints(terms)
+
+	var alerts []Alert
+	for _, id := range terms {
+		term := dict.Term(id)
+		cands := s.subs.Candidates(term)
+		if len(cands) == 0 {
+			continue
+		}
+		for _, cand := range cands {
+			for _, k := range Kinds() {
+				if cand.Kind != int(KindAny) && cand.Kind != int(k) {
+					continue
+				}
+				ix := resident[int(k)-1]
+				if ix == nil {
+					continue
+				}
+				count, best, start, end := matchPatterns(ix, id, cand, points)
+				if count == 0 {
+					continue
+				}
+				alerts = append(alerts, Alert{
+					SubscriptionID: cand.ID,
+					Owner:          cand.Owner,
+					Generation:     gen,
+					Term:           term,
+					Kind:           k,
+					Score:          best,
+					Patterns:       count,
+					Start:          start,
+					End:            end,
+				})
+			}
+		}
+	}
+	// The term-major loop above orders by (term, subscription, kind);
+	// regroup by subscription so one subscriber's alerts are adjacent —
+	// the delivery layer batches per subscription.
+	sort.SliceStable(alerts, func(i, j int) bool {
+		return alerts[i].SubscriptionID < alerts[j].SubscriptionID
+	})
+	return alerts
+}
+
+// matchPatterns evaluates one (index, term, predicate) triple: the count
+// of the term's patterns satisfying the predicate, and the score and
+// timeframe of the best of them. The geometry predicates are the exact
+// retrieval ones (search.WindowIntersects / CombIntersects /
+// TemporalIntersects), so a standing query matches precisely when the
+// equivalent one-shot Query's post-filter would accept a pattern.
+func matchPatterns(ix *PatternIndex, termID int, cand sub.Subscription, points []Point) (count int, best float64, start, end int) {
+	region, span, min := cand.Region, cand.Time, cand.MinScore
+	consider := func(score float64, s, e int) {
+		count++
+		if count == 1 || score > best {
+			best, start, end = score, s, e
+		}
+	}
+	switch ix.PatternKind() {
+	case KindRegional:
+		for _, w := range ix.set.Windows(termID) {
+			if w.Score >= min && search.WindowIntersects(w, region, span) {
+				consider(w.Score, w.Start, w.End)
+			}
+		}
+	case KindCombinatorial:
+		for _, p := range ix.set.Combs(termID) {
+			if p.Score >= min && search.CombIntersects(p, points, region, span) {
+				consider(p.Score, p.Start, p.End)
+			}
+		}
+	case KindTemporal:
+		for _, iv := range ix.set.Temporal(termID) {
+			if iv.Score >= min && search.TemporalIntersects(iv, span) {
+				consider(iv.Score, iv.Start, iv.End)
+			}
+		}
+	}
+	return count, best, start, end
+}
+
+// emitAlerts hands one batch's alerts to the installed sink, if any.
+// Called by Ingest after writeMu is released — a sink can safely read
+// the store but must not block the ingesting goroutine for long.
+func (s *Store) emitAlerts(alerts []Alert) {
+	if len(alerts) == 0 {
+		return
+	}
+	if f := s.alertSink.Load(); f != nil {
+		(*f)(alerts)
+	}
+}
+
+// subscriptionBlobs serializes the registered standing queries for the
+// bundle's subscriptions block, in ascending ID order; callers hold
+// writeMu (Save's snapshot includes the subscriptions).
+func (s *Store) subscriptionBlobs() ([][]byte, error) {
+	subs := s.Subscriptions()
+	if len(subs) == 0 {
+		return nil, nil
+	}
+	blobs := make([][]byte, len(subs))
+	for i, spec := range subs {
+		b, err := json.Marshal(spec)
+		if err != nil {
+			return nil, fmt.Errorf("stburst: encoding subscription %d: %w", spec.ID, err)
+		}
+		blobs[i] = b
+	}
+	return blobs, nil
+}
+
+// restoreSubscriptions re-registers persisted subscription blobs on
+// load. Blobs were written by subscriptionBlobs, so IDs are present and
+// unique; any undecodable or invalid blob fails the load — a bundle that
+// passed its checksum cannot hold a half-usable subscription set.
+func (s *Store) restoreSubscriptions(blobs [][]byte) error {
+	for _, b := range blobs {
+		var spec Subscription
+		if err := json.Unmarshal(b, &spec); err != nil {
+			return fmt.Errorf("stburst: decoding persisted subscription: %w", err)
+		}
+		if err := spec.Validate(); err != nil {
+			return fmt.Errorf("stburst: persisted subscription %d invalid: %w", spec.ID, err)
+		}
+		if err := s.subs.Restore(toInternalSub(spec)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -25,16 +25,24 @@ const (
 	WALSyncNever
 )
 
+// walConfig collects OpenWAL's options: the log's own knobs plus the
+// save-time pruning policy, which lives above the log (it couples the
+// log to the corpus file).
+type walConfig struct {
+	opts      wal.Options
+	prunePath string
+}
+
 // WALOption configures OpenWAL functional-style.
-type WALOption func(*wal.Options)
+type WALOption func(*walConfig)
 
 // WithWALSync sets the fsync policy (default WALSyncAlways).
 func WithWALSync(p WALSync) WALOption {
-	return func(o *wal.Options) {
+	return func(c *walConfig) {
 		if p == WALSyncNever {
-			o.Sync = wal.SyncNever
+			c.opts.Sync = wal.SyncNever
 		} else {
-			o.Sync = wal.SyncAlways
+			c.opts.Sync = wal.SyncAlways
 		}
 	}
 }
@@ -42,7 +50,29 @@ func WithWALSync(p WALSync) WALOption {
 // WithWALSegmentBytes sets the segment rotation threshold (default
 // 64 MiB). Values <= 0 keep the default.
 func WithWALSegmentBytes(n int64) WALOption {
-	return func(o *wal.Options) { o.SegmentBytes = n }
+	return func(c *walConfig) { c.opts.SegmentBytes = n }
+}
+
+// WithWALPrune arms save-time log pruning, off by default. After each
+// successful Store.Save/SaveFile by the store this log is attached to,
+// the sealed segments' documents are absorbed into the corpus JSONL
+// file at corpusPath (atomically: the file is copied, appended and
+// renamed, so a crash leaves either the old corpus or the new one) and
+// the sealed segments are then deleted — the log stays bounded under
+// sustained ingestion instead of growing forever.
+//
+// corpusPath must be the very corpus file the store's collection was
+// loaded from: absorption appends exactly the logged batches, in log
+// order, and refuses (without touching anything) when the batches do
+// not abut the file's document count. A reboot then recovers
+// bit-identically from the absorbed corpus plus the bundle plus
+// whatever the log still holds — loading an absorbed document interns
+// its terms exactly as the live Ingest did, and ReplayWAL skips batches
+// whose documents the corpus already contains (a crash between the
+// absorb and the prune leaves both copies; replaying the duplicate
+// would corrupt the collection).
+func WithWALPrune(corpusPath string) WALOption {
+	return func(c *walConfig) { c.prunePath = corpusPath }
 }
 
 // WAL is an open write-ahead log for live ingestion. The boot sequence
@@ -71,6 +101,7 @@ type WAL struct {
 	replayCol *stream.Collection // guard: attach only to the replayed collection
 	docs      int                // documents across replayed batches
 	attached  bool
+	prunePath string // corpus file for save-time absorption ("" = rotate only)
 }
 
 // replayedBatch is what AttachWAL needs from each replayed frame: its
@@ -88,15 +119,15 @@ type replayedBatch struct {
 // under the default fsync policy those mean the disk lost acknowledged
 // data, and silently skipping it would quietly un-acknowledge batches.
 func OpenWAL(dir string, opts ...WALOption) (*WAL, error) {
-	var o wal.Options
+	var cfg walConfig
 	for _, opt := range opts {
-		opt(&o)
+		opt(&cfg)
 	}
-	l, pending, err := wal.Open(dir, o)
+	l, pending, err := wal.Open(dir, cfg.opts)
 	if err != nil {
 		return nil, fmt.Errorf("stburst: opening wal: %w", err)
 	}
-	return &WAL{l: l, pending: pending}, nil
+	return &WAL{l: l, pending: pending, prunePath: cfg.prunePath}, nil
 }
 
 // Pending returns the number of scanned batches not yet replayed.
@@ -136,6 +167,12 @@ type ReplayResult struct {
 	Batches int
 	// Docs is the number of documents across them.
 	Docs int
+	// Skipped is the number of logged batches whose documents the
+	// loaded corpus already contained and that were therefore not
+	// re-appended — a save with pruning enabled (WithWALPrune) absorbed
+	// them into the corpus file but crashed before deleting their
+	// segments.
+	Skipped int
 }
 
 // ReplayWAL re-appends every batch the log holds, in sequence order,
@@ -149,7 +186,13 @@ type ReplayResult struct {
 // Each frame's recorded base document count must match the collection
 // exactly — a mismatch means the log belongs to a different corpus (or
 // replay ran twice) and is a hard error: appending anyway would assign
-// the wrong document IDs to every replayed document.
+// the wrong document IDs to every replayed document. The one exception
+// is a batch whose documents the collection provably already holds in
+// full (its recorded base plus its own length is at most the corpus's
+// load-time size): a save with WithWALPrune absorbed it into the corpus
+// file but crashed before the prune deleted its segment, and replaying
+// the duplicate would corrupt the collection — it is skipped instead
+// (ReplayResult.Skipped).
 func (c *Collection) ReplayWAL(ctx context.Context, w *WAL) (ReplayResult, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -164,6 +207,13 @@ func (c *Collection) ReplayWAL(ctx context.Context, w *WAL) (ReplayResult, error
 	}
 	var res ReplayResult
 	for _, b := range w.pending {
+		if have := uint64(c.col.NumDocs()); b.BaseDocs+uint64(len(b.Docs)) <= have && len(b.Docs) > 0 {
+			// Fully absorbed into the corpus by a pre-crash prune: the
+			// loaded collection already holds these documents, mined into
+			// the bundle saved alongside the absorption.
+			res.Skipped++
+			continue
+		}
 		if uint64(c.col.NumDocs()) != b.BaseDocs {
 			return res, fmt.Errorf(
 				"stburst: wal batch %d was logged at document count %d but the collection holds %d — the log belongs to a different corpus",
@@ -281,6 +331,7 @@ func (s *Store) AttachWAL(ctx context.Context, w *WAL) (AttachResult, error) {
 		}
 	}
 	w.attached = true
+	s.walPrune = w.prunePath
 	s.wal.Store(w.l)
 	res.Generation = s.Generation()
 	return res, nil
