@@ -236,7 +236,7 @@ alert-smoke:
 	./bin/stgen -kind topix -seed 1 -articles 0.4 -vocab 300 -tokens 8 > $(ALERT_TMP)/corpus.jsonl; \
 	./bin/stsink -addr $(ALERT_SINK) -out $(ALERT_TMP)/alerts.jsonl & pids="$$pids $$!"; \
 	./bin/stserve -corpus $(ALERT_TMP)/corpus.jsonl -addr $(ALERT_ADDR) \
-		-method stlocal -ingest -subscriptions & pids="$$pids $$!"; \
+		-method stlocal -ingest -subscriptions -webhook-allow-private & pids="$$pids $$!"; \
 	for url in http://$(ALERT_SINK) http://$(ALERT_ADDR); do \
 		ok=0; for t in $$(seq 1 200); do \
 			curl -sf $$url/v1/healthz > /dev/null 2>&1 && { ok=1; break; }; sleep 0.3; \

@@ -131,6 +131,8 @@ func main() {
 		ingestBatch    = flag.Int("ingest-batch", 1, "buffer this many documents before an ingest flush (1 = flush every request)")
 		ingestInterval = flag.Duration("ingest-interval", 0, "flush buffered documents at least this often (0 = only on batch size)")
 		subscriptions  = flag.Bool("subscriptions", false, "enable the /v1/subscriptions standing-query surface and the /v1/alerts/stream SSE feed")
+		allowPrivate   = flag.Bool("webhook-allow-private", false, "permit webhook deliveries to loopback, private-range and link-local addresses (off by default: SSRF guard)")
+		maxSubs        = flag.Int("max-subscriptions", 0, "cap on registered subscriptions; creates past it answer 429 (0 = default 65536)")
 		walDir         = flag.String("wal-dir", "", "write-ahead log directory: log every ingest batch before applying it and replay the log on boot")
 		fsync          = flag.String("fsync", "always", "WAL fsync policy: always (acknowledged = durable) or never (faster, crash may lose batches)")
 	)
@@ -245,7 +247,11 @@ func main() {
 	if *subscriptions {
 		// Bundles persist registered subscriptions; a loaded snapshot may
 		// already carry standing queries from a previous run.
-		handler.EnableSubscriptions(sub.DispatcherOptions{})
+		store.SetSubscriptionLimit(*maxSubs)
+		handler.EnableSubscriptions(sub.DispatcherOptions{AllowPrivate: *allowPrivate})
+		if *allowPrivate {
+			log.Printf("webhook SSRF guard disabled (-webhook-allow-private): deliveries to private addresses permitted")
+		}
 		if !*ingest {
 			log.Printf("subscriptions enabled (%d registered) — note: without -ingest nothing re-mines, so alerts never fire", store.NumSubscriptions())
 		} else {

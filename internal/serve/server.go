@@ -97,10 +97,14 @@ type Server struct {
 	// surface (the -subscriptions flag gates it, like -ingest gates the
 	// write surface). alertsMatched counts every alert the post-ingest
 	// matcher handed the sink, before delivery fan-out.
-	subsEnabled   bool
-	dispatcher    *sub.Dispatcher
-	broker        *sub.Broker
-	alertsMatched atomic.Int64
+	subsEnabled bool
+	// allowPrivateHooks mirrors the dispatcher's AllowPrivate option so
+	// registration can refuse visibly-private webhook targets with a
+	// clean 400 instead of letting every delivery fail at dial time.
+	allowPrivateHooks bool
+	dispatcher        *sub.Dispatcher
+	broker            *sub.Broker
+	alertsMatched     atomic.Int64
 	mux           *http.ServeMux
 	obs           *observer
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -29,6 +30,7 @@ import (
 // replaced with the delivery-latency histogram.
 func (s *Server) EnableSubscriptions(opts sub.DispatcherOptions) {
 	s.subsEnabled = true
+	s.allowPrivateHooks = opts.AllowPrivate
 	s.broker = sub.NewBroker()
 	opts.OnDelivery = s.obs.alertLatency.Observe
 	s.dispatcher = sub.NewDispatcher(opts)
@@ -87,8 +89,24 @@ func (s *Server) handleSubscriptionCreate(w http.ResponseWriter, r *http.Request
 		writeError(w, http.StatusBadRequest, "id is assigned by the server; omit it")
 		return
 	}
+	// Refuse visibly-private webhook targets up front (an unparseable
+	// URL falls through to Subscribe's own validation error). Hostnames
+	// pass here; whatever they resolve to is enforced again at dial
+	// time by the dispatcher, which this check cannot replace.
+	if spec.Webhook != "" && !s.allowPrivateHooks {
+		if u, err := url.Parse(spec.Webhook); err == nil {
+			if err := sub.CheckWebhookHost(u.Hostname()); err != nil {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		}
+	}
 	stored, err := s.store.Subscribe(spec)
 	if err != nil {
+		if errors.Is(err, stburst.ErrSubscriptionLimit) {
+			writeError(w, http.StatusTooManyRequests, err.Error())
+			return
+		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}

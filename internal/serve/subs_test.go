@@ -30,7 +30,9 @@ func subsServer(t *testing.T) (*stburst.Collection, *stburst.Store, *Server) {
 	s := New(c, store, "")
 	ing := stburst.NewIngester(store, stburst.WithFlushDocs(1))
 	s.EnableIngest(ing)
-	s.EnableSubscriptions(sub.DispatcherOptions{Retries: 1, Backoff: time.Millisecond, Timeout: 2 * time.Second})
+	// AllowPrivate: every test sink is an httptest server on loopback,
+	// which the default webhook policy would refuse.
+	s.EnableSubscriptions(sub.DispatcherOptions{Retries: 1, Backoff: time.Millisecond, Timeout: 2 * time.Second, AllowPrivate: true})
 	t.Cleanup(func() {
 		ing.Close()
 		s.CloseSubscriptions()
@@ -469,5 +471,69 @@ func TestServerConcurrentIngestCRUDSSE(t *testing.T) {
 
 	if got := s.alertsMatched.Load(); got == 0 {
 		t.Error("no alerts matched across 12 matching ingests")
+	}
+}
+
+// TestServerRejectsPrivateWebhook: with the default webhook policy, a
+// subscription naming a loopback, private-range or metadata-endpoint
+// target in its URL is refused at registration with 400 — the
+// unauthenticated surface must not become a blind-SSRF POST proxy.
+func TestServerRejectsPrivateWebhook(t *testing.T) {
+	c := serveCollection(t)
+	store := storeOf(t, c, c.MineAllRegional(nil, 0))
+	s := New(c, store, "")
+	s.EnableSubscriptions(sub.DispatcherOptions{Retries: 1, Backoff: time.Millisecond})
+	t.Cleanup(s.CloseSubscriptions)
+
+	for _, hook := range []string{
+		"http://127.0.0.1:9999/hook",
+		"http://localhost/hook",
+		"http://169.254.169.254/latest/meta-data/",
+		"http://10.0.0.5/hook",
+		"http://[::1]:8080/hook",
+	} {
+		code, body := postJSON(t, s, "/v1/subscriptions",
+			fmt.Sprintf(`{"terms":["earthquake"],"webhook":%q}`, hook))
+		if code != http.StatusBadRequest {
+			t.Errorf("private webhook %s = %d %v, want 400", hook, code, body)
+		}
+	}
+	if store.NumSubscriptions() != 0 {
+		t.Errorf("refused webhooks still registered %d subscriptions", store.NumSubscriptions())
+	}
+	// A public hostname passes registration; resolution is the dial
+	// guard's problem.
+	code, body := postJSON(t, s, "/v1/subscriptions",
+		`{"terms":["earthquake"],"webhook":"https://hooks.example.com/alerts"}`)
+	if code != http.StatusCreated {
+		t.Errorf("public webhook = %d %v, want 201", code, body)
+	}
+}
+
+// TestServerSubscriptionLimit: past the registry's limit the create
+// route answers 429, existing subscriptions survive, and deleting one
+// frees a slot.
+func TestServerSubscriptionLimit(t *testing.T) {
+	_, store, s := subsServer(t)
+	store.SetSubscriptionLimit(2)
+
+	for i := 0; i < 2; i++ {
+		code, body := postJSON(t, s, "/v1/subscriptions", `{"terms":["earthquake"]}`)
+		if code != http.StatusCreated {
+			t.Fatalf("create %d = %d %v, want 201", i, code, body)
+		}
+	}
+	code, body := postJSON(t, s, "/v1/subscriptions", `{"terms":["rescue"]}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("create past limit = %d %v, want 429", code, body)
+	}
+	if store.NumSubscriptions() != 2 {
+		t.Fatalf("store holds %d subscriptions, want 2", store.NumSubscriptions())
+	}
+	if code, _ := do(t, s, http.MethodDelete, "/v1/subscriptions/1", ""); code != http.StatusOK {
+		t.Fatalf("delete = %d, want 200", code)
+	}
+	if code, body := postJSON(t, s, "/v1/subscriptions", `{"terms":["rescue"]}`); code != http.StatusCreated {
+		t.Fatalf("create after delete = %d %v, want 201", code, body)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -54,8 +55,17 @@ type DispatcherOptions struct {
 	// Timeout bounds each POST (default 5s).
 	Timeout time.Duration
 	// Client overrides the HTTP client (tests); nil uses a client with
-	// the configured Timeout.
+	// the configured Timeout whose dialer enforces the webhook target
+	// policy (see AllowPrivate). A non-nil Client bypasses that policy —
+	// the caller owns transport security.
 	Client *http.Client
+	// AllowPrivate permits deliveries to loopback, private (RFC
+	// 1918/4193) and link-local addresses. Off by default: the
+	// subscription surface is unauthenticated, and a webhook aimed at
+	// the server's own network would otherwise turn it into a blind-SSRF
+	// POST proxy (see policy.go). Enable for local development and
+	// tests only.
+	AllowPrivate bool
 	// OnDelivery, when non-nil, observes the wall-clock seconds each
 	// successful delivery took (queue wait + POST), feeding the
 	// latency histogram.
@@ -70,7 +80,13 @@ type Dispatcher struct {
 	client *http.Client
 	queue  chan queued
 	wg     sync.WaitGroup
-	closed atomic.Bool
+	// mu serializes Enqueue's channel send against Close's channel
+	// close: Enqueue holds the read lock across its closed-check and
+	// send, so Close (write lock) can never close the queue between the
+	// two — the send-on-closed-channel panic an atomic flag alone would
+	// allow.
+	mu     sync.RWMutex
+	closed bool
 
 	deliveredBatches atomic.Uint64
 	deliveredAlerts  atomic.Uint64
@@ -103,6 +119,14 @@ func NewDispatcher(opts DispatcherOptions) *Dispatcher {
 	d := &Dispatcher{opts: opts, client: opts.Client}
 	if d.client == nil {
 		d.client = &http.Client{Timeout: opts.Timeout}
+		if !opts.AllowPrivate {
+			// Enforce the webhook target policy post-resolution: the
+			// Control hook sees the literal IP being dialed, so a DNS
+			// name resolving to a private range is refused even though
+			// registration-time validation could only see the name.
+			dialer := &net.Dialer{Timeout: opts.Timeout, Control: guardDial}
+			d.client.Transport = &http.Transport{DialContext: dialer.DialContext}
+		}
 	}
 	d.queue = make(chan queued, opts.QueueLen)
 	d.wg.Add(opts.Workers)
@@ -116,7 +140,12 @@ func NewDispatcher(opts DispatcherOptions) *Dispatcher {
 // the queue is full the batch is dropped and counted, keeping ingest
 // latency independent of sink health.
 func (d *Dispatcher) Enqueue(b Batch) {
-	if b.URL == "" || d.closed.Load() {
+	if b.URL == "" {
+		return
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
 		return
 	}
 	select {
@@ -138,12 +167,18 @@ func (d *Dispatcher) Stats() DispatcherStats {
 }
 
 // Close stops accepting batches, drains the queue and waits for the
-// workers to finish their in-flight deliveries.
+// workers to finish their in-flight deliveries. Safe to call
+// concurrently with Enqueue (late batches are silently refused) and
+// idempotent.
 func (d *Dispatcher) Close() {
-	if d.closed.Swap(true) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
 		return
 	}
+	d.closed = true
 	close(d.queue)
+	d.mu.Unlock()
 	d.wg.Wait()
 }
 

@@ -1,0 +1,62 @@
+package sub
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"strings"
+	"syscall"
+)
+
+// Webhook target policy. The /v1/subscriptions surface is
+// unauthenticated, so a registered webhook must not be able to aim the
+// server's own network position at loopback services, RFC 1918/4193
+// ranges or the link-local metadata endpoints cloud providers expose —
+// a blind-SSRF POST proxy. The default policy refuses such targets
+// twice: at registration time for addresses visible in the URL itself,
+// and at dial time, after DNS resolution, so a hostname that resolves
+// (or later rebinds) to a private address is caught too.
+// DispatcherOptions.AllowPrivate — the stserve -webhook-allow-private
+// flag — lifts both checks for local development and tests.
+
+// CheckWebhookHost rejects a webhook URL host that is visibly a
+// blocked delivery target: a literal IP in a private, loopback,
+// link-local or unspecified range, or the name "localhost". Other
+// hostnames pass — what they actually resolve to is enforced at dial
+// time by the dispatcher's default client.
+func CheckWebhookHost(host string) error {
+	if strings.EqualFold(host, "localhost") {
+		return fmt.Errorf("sub: webhook host %q is a blocked delivery target (loopback); deliveries to private addresses are refused by default", host)
+	}
+	if addr, err := netip.ParseAddr(host); err == nil {
+		return checkWebhookAddr(addr)
+	}
+	return nil
+}
+
+// checkWebhookAddr refuses the address ranges the default policy
+// blocks. IPv4-mapped IPv6 addresses are unmapped first so ::ffff:10.x
+// cannot smuggle an RFC 1918 target past the check.
+func checkWebhookAddr(addr netip.Addr) error {
+	a := addr.Unmap()
+	if a.IsLoopback() || a.IsPrivate() || a.IsLinkLocalUnicast() || a.IsLinkLocalMulticast() || a.IsUnspecified() {
+		return fmt.Errorf("sub: webhook target %s is a private, loopback or link-local address; deliveries to it are refused by default", addr)
+	}
+	return nil
+}
+
+// guardDial is the net.Dialer Control hook enforcing the policy after
+// name resolution: address here is always the literal ip:port about to
+// be connected, so a public hostname resolving privately is refused at
+// the last possible moment.
+func guardDial(network, address string, _ syscall.RawConn) error {
+	host, _, err := net.SplitHostPort(address)
+	if err != nil {
+		return fmt.Errorf("sub: webhook dial to %q: %w", address, err)
+	}
+	addr, err := netip.ParseAddr(host)
+	if err != nil {
+		return fmt.Errorf("sub: webhook dial resolved to unparseable address %q", address)
+	}
+	return checkWebhookAddr(addr)
+}

@@ -15,6 +15,7 @@
 package sub
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -22,6 +23,18 @@ import (
 	"stburst/internal/geo"
 	"stburst/internal/search"
 )
+
+// DefaultMaxSubscriptions bounds Add-registered subscriptions when no
+// explicit limit is set. The registration surface is unauthenticated,
+// so an unbounded registry would let one client grow memory without
+// limit — and past the bundle codec's 1<<20 subscriptions ceiling,
+// every subsequent save would fail. The default stays well below that
+// ceiling so a registry at its limit always remains saveable.
+const DefaultMaxSubscriptions = 1 << 16
+
+// ErrRegistryFull is wrapped by Add when the registry holds its
+// limit's worth of subscriptions; the HTTP layer maps it to 429.
+var ErrRegistryFull = errors.New("sub: subscription limit reached")
 
 // Subscription is one registered standing query.
 type Subscription struct {
@@ -76,25 +89,43 @@ type Registry struct {
 	subs   map[uint64]Subscription
 	byTerm map[string]map[uint64]struct{}
 	nextID uint64
+	max    int
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with the default Add limit.
 func NewRegistry() *Registry {
 	return &Registry{
 		subs:   make(map[uint64]Subscription),
 		byTerm: make(map[string]map[uint64]struct{}),
+		max:    DefaultMaxSubscriptions,
 	}
+}
+
+// SetLimit bounds the number of subscriptions Add accepts; n <= 0
+// restores DefaultMaxSubscriptions. Restore is deliberately exempt —
+// a persisted set the bundle codec accepted must always load.
+func (r *Registry) SetLimit(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 {
+		n = DefaultMaxSubscriptions
+	}
+	r.max = n
 }
 
 // Add registers a subscription, assigns it the next free ID and returns
 // the stored form. Terms must be non-empty — a termless subscription
-// would have no inverted-index home and silently never match.
+// would have no inverted-index home and silently never match. A
+// registry at its limit (SetLimit) refuses with ErrRegistryFull.
 func (r *Registry) Add(s Subscription) (Subscription, error) {
 	if len(s.Terms) == 0 {
 		return Subscription{}, fmt.Errorf("sub: subscription needs at least one term")
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if len(r.subs) >= r.max {
+		return Subscription{}, fmt.Errorf("%w (%d registered)", ErrRegistryFull, len(r.subs))
+	}
 	r.nextID++
 	s.ID = r.nextID
 	r.insertLocked(s.clone())

@@ -594,10 +594,14 @@ func (s *Store) residentSets() ([]*index.PatternSet, error) {
 // appended documents. A log opened WithWALPrune goes further: the
 // sealed batches are absorbed into the corpus file itself (atomically)
 // and only then are the sealed segments deleted (see DESIGN.md).
+// Absorption stops at the last batch the saved bundle covers: a batch
+// ingested while the bundle was being serialized stays logged until a
+// later save covers it.
 func (s *Store) Save(w io.Writer) error {
 	s.writeMu.Lock()
 	sets, err := s.residentSets()
 	gen := s.Generation()
+	l, walBoundary := s.walSnapshotLocked()
 	var subBlobs [][]byte
 	if err == nil {
 		subBlobs, err = s.subscriptionBlobs()
@@ -617,7 +621,7 @@ func (s *Store) Save(w io.Writer) error {
 	}); err != nil {
 		return err
 	}
-	return s.rotateWAL()
+	return s.rotateWAL(l, walBoundary)
 }
 
 // writeBundle invokes write with the store's shard identity in the
@@ -632,13 +636,31 @@ func (s *Store) writeBundle(write func(index.ShardInfo) error) error {
 	})
 }
 
+// walSnapshotLocked captures, under writeMu, the attached log together
+// with the sequence number of its last appended frame — the absorption
+// boundary of the save in progress. Every frame at or below the
+// boundary was ingested before the save's index snapshot, so the
+// bundle being written covers it; frames appended after the snapshot
+// (Save serializes the bundle outside writeMu, so ingestion continues
+// underneath) are NOT covered and must survive rotation un-absorbed.
+func (s *Store) walSnapshotLocked() (*wal.Log, uint64) {
+	l := s.wal.Load()
+	if l == nil {
+		return nil, 0
+	}
+	return l, l.Stats().LastSeq
+}
+
 // rotateWAL seals the attached log's active segment after a successful
 // save; a rotation failure surfaces (the bundle itself is intact). When
 // the log was opened WithWALPrune, the sealed segments are then
-// absorbed into the corpus file and deleted (absorbWAL), so the log
-// stays bounded instead of growing forever.
-func (s *Store) rotateWAL() error {
-	l := s.wal.Load()
+// absorbed into the corpus file and deleted (absorbWAL) up to the
+// boundary the save's snapshot captured, so the log stays bounded
+// instead of growing forever. l and boundary come from
+// walSnapshotLocked under the same writeMu hold as the index snapshot;
+// a log attached after the snapshot is left alone (its every frame
+// postdates the bundle).
+func (s *Store) rotateWAL(l *wal.Log, boundary uint64) error {
 	if l == nil {
 		return nil
 	}
@@ -648,7 +670,7 @@ func (s *Store) rotateWAL() error {
 	if s.walPrune == "" {
 		return nil
 	}
-	return s.absorbWAL(l)
+	return s.absorbWAL(l, boundary)
 }
 
 // absorbWAL makes the sealed segments' documents durable in the corpus
@@ -661,10 +683,26 @@ func (s *Store) rotateWAL() error {
 // that does not abut the file's document count aborts the whole
 // absorption — the file is not the corpus this collection was loaded
 // from, and appending to it would corrupt the next boot.
-func (s *Store) absorbWAL(l *wal.Log) error {
+//
+// Only frames with sequence number <= boundary (the last frame logged
+// before the save's index snapshot) are absorbed and pruned: a batch
+// ingested while the bundle was being written may already sit in a
+// sealed segment, but the bundle does not cover it — absorbing it
+// would let recovery skip the batch (its documents already in the
+// corpus) without ever re-mining its dirty terms, silently regressing
+// the indexes. It stays logged until a later save's bundle covers it.
+func (s *Store) absorbWAL(l *wal.Log, boundary uint64) error {
 	batches, last, err := l.SealedBatches()
 	if err != nil {
 		return fmt.Errorf("stburst: pruning wal after save: %w", err)
+	}
+	// Frames are in ascending sequence order; trim everything past the
+	// boundary off the tail.
+	for len(batches) > 0 && batches[len(batches)-1].Seq > boundary {
+		batches = batches[:len(batches)-1]
+	}
+	if last > boundary {
+		last = boundary
 	}
 	if len(batches) == 0 {
 		return nil
@@ -713,6 +751,7 @@ func (s *Store) SaveFile(path string) error {
 	s.writeMu.Lock()
 	sets, err := s.residentSets()
 	gen := s.Generation()
+	l, walBoundary := s.walSnapshotLocked()
 	var subBlobs [][]byte
 	if err == nil {
 		subBlobs, err = s.subscriptionBlobs()
@@ -732,7 +771,7 @@ func (s *Store) SaveFile(path string) error {
 	}); err != nil {
 		return err
 	}
-	return s.rotateWAL()
+	return s.rotateWAL(l, walBoundary)
 }
 
 // LoadStore reads a store from r and attaches it to a collection

@@ -102,13 +102,29 @@ func (s *Store) SetAlertSink(sink AlertSink) {
 	s.alertSink.Store(&sink)
 }
 
+// ErrSubscriptionLimit reports that Subscribe was refused because the
+// store already holds its limit's worth of standing queries (see
+// SetSubscriptionLimit). Test with errors.Is; the HTTP layer maps it
+// to 429 Too Many Requests.
+var ErrSubscriptionLimit = sub.ErrRegistryFull
+
+// SetSubscriptionLimit bounds the number of standing queries Subscribe
+// accepts; n <= 0 restores the default (65536). The limit keeps the
+// unauthenticated registration surface from growing memory without
+// bound, and the default sits well below the bundle format's 1<<20
+// subscriptions ceiling so a full registry always saves. Subscriptions
+// restored from a bundle are never dropped by a lower limit, but new
+// Subscribes are refused until the count falls below it.
+func (s *Store) SetSubscriptionLimit(n int) { s.subs.SetLimit(n) }
+
 // Subscribe validates and registers a standing query, returning the
 // stored form: ID assigned, terms normalized through the collection's
 // tokenizer (a multi-word entry contributes every token, duplicates
 // collapse). Terms the collection has never seen are accepted — unlike a
 // one-shot Query, a standing query naturally watches vocabulary that
 // only future ingestion will intern — but every entry must survive
-// tokenization.
+// tokenization. A store at its subscription limit refuses with a
+// wrapped ErrSubscriptionLimit.
 func (s *Store) Subscribe(spec Subscription) (Subscription, error) {
 	if err := spec.Validate(); err != nil {
 		return Subscription{}, err

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"stburst/internal/corpusio"
@@ -212,6 +213,79 @@ func TestWALPruneRecoversBitIdentically(t *testing.T) {
 	assertState(t, "reboot from a crash between absorb and prune", s4, want2)
 	_ = w4.Close()
 	_ = w2.Close()
+}
+
+// ingestDuringWrite wraps a buffer so the first bundle byte written
+// triggers one live Ingest — deterministically forcing the interleaving
+// where a batch lands between Save's index snapshot (under writeMu) and
+// the post-write rotation (Save serializes the bundle with no locks
+// held, so ingestion continues underneath).
+type ingestDuringWrite struct {
+	buf  bytes.Buffer
+	once sync.Once
+	do   func()
+}
+
+func (w *ingestDuringWrite) Write(p []byte) (int, error) {
+	w.once.Do(w.do)
+	return w.buf.Write(p)
+}
+
+// TestWALPruneSaveIngestRace pins the absorption boundary: a batch
+// ingested while Save is serializing the bundle is sealed by the save's
+// rotation but must NOT be absorbed and pruned — the just-written
+// bundle predates it, so after a crash replay would skip it (documents
+// already in the corpus) and nothing would ever re-mine its dirty
+// terms.
+func TestWALPruneSaveIngestRace(t *testing.T) {
+	ctx := context.Background()
+	corpus := writePruneCorpus(t)
+	walDir := t.TempDir()
+	baseDocs := countDocLines(t, corpus)
+
+	c1 := loadCorpusFile(t, corpus)
+	s1 := mustMineStore(t, c1, nil)
+	w1 := mustOpenWAL(t, walDir, WithWALPrune(corpus))
+	mustAttachWAL(t, s1, w1)
+	mustIngest(t, s1, liveBatch())
+
+	iw := &ingestDuringWrite{}
+	iw.do = func() { mustIngest(t, s1, secondBatch()) }
+	if err := s1.Save(iw); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	want := captureState(s1)
+
+	// Only the pre-snapshot batch was absorbed; the mid-save one must
+	// still be logged, and its segment kept whole (pruning only removes
+	// segments every frame of which the bundle covers).
+	if st, _ := s1.WALStats(); st.Batches != 2 {
+		t.Fatalf("WALStats after racing save = %+v, want both frames kept (the sealed segment spans the boundary)", st)
+	}
+	if got := countDocLines(t, corpus); got != baseDocs+3 {
+		t.Fatalf("corpus holds %d docs after absorption, want %d (the pre-snapshot batch only)", got, baseDocs+3)
+	}
+
+	// Crash now: reboot from corpus + bundle + log. The absorbed batch
+	// is skipped, the mid-save batch replays, and AttachWAL re-mines its
+	// dirty terms — the recovered store must equal the live one exactly.
+	c2 := loadCorpusFile(t, corpus)
+	w2 := mustOpenWAL(t, walDir, WithWALPrune(corpus))
+	rep, err := c2.ReplayWAL(ctx, w2)
+	if err != nil {
+		t.Fatalf("ReplayWAL: %v", err)
+	}
+	if rep.Skipped != 1 || rep.Batches != 1 {
+		t.Fatalf("ReplayWAL = %+v, want the absorbed batch skipped and the mid-save batch replayed", rep)
+	}
+	s2, err := LoadStore(bytes.NewReader(iw.buf.Bytes()), c2)
+	if err != nil {
+		t.Fatalf("LoadStore: %v", err)
+	}
+	mustAttachWAL(t, s2, w2)
+	assertState(t, "reboot after a mid-save ingest", s2, want)
+	_ = w2.Close()
+	_ = w1.Close()
 }
 
 // TestWALPruneRefusesForeignCorpus: absorption must abort — corpus file
