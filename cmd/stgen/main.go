@@ -3,7 +3,16 @@
 // Usage:
 //
 //	stgen -kind topix [-seed N] [-articles N] [-vocab N] [-tokens N] > corpus.jsonl
+//	stgen -kind topix -follow -rate 100 -o feed.jsonl
 //	stgen -kind distgen|randgen [-streams N] [-timeline N] [-terms N] [-patterns N] > surfaces.jsonl
+//
+// -follow turns stgen into a live feed for the stserve -tail connector:
+// instead of dumping the whole corpus at once it appends one document
+// line to -o every 1/-rate seconds, flushing per line so a tailer sees
+// whole documents promptly. The file is created with its header line if
+// missing; re-running with the same seed resumes exactly where the file
+// left off (a torn last line from a killed writer is truncated away
+// first), because the same seed always generates the same sequence.
 //
 // For -kind topix each output line is a document:
 //
@@ -20,7 +29,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"stburst/internal/gen"
 )
@@ -57,8 +68,22 @@ func main() {
 		timeline = flag.Int("timeline", 365, "artificial: timeline length")
 		terms    = flag.Int("terms", 10000, "artificial: number of terms")
 		patterns = flag.Int("patterns", 1000, "artificial: number of injected patterns")
+		follow   = flag.Bool("follow", false, "topix: append documents to -o at -rate docs/sec instead of dumping to stdout, resuming a partially written file")
+		rate     = flag.Float64("rate", 50, "with -follow: documents appended per second")
+		outPath  = flag.String("o", "", "with -follow: the feed file to create or resume (required)")
 	)
 	flag.Parse()
+	if *follow {
+		if *kind != "topix" {
+			fatal(fmt.Errorf("-follow supports only -kind topix"))
+		}
+		if *outPath == "" {
+			fatal(fmt.Errorf("-follow requires -o: a feed file to append to"))
+		}
+		if *rate <= 0 {
+			fatal(fmt.Errorf("-rate must be positive, got %v", *rate))
+		}
+	}
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
@@ -76,24 +101,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		col := tp.Col
-		h := header{Kind: "topix", Timeline: col.Length()}
-		for i := 0; i < col.NumStreams(); i++ {
-			h.Streams = append(h.Streams, col.Stream(i).Name)
+		if *follow {
+			must(followTopix(tp, *outPath, *rate))
+			return
 		}
-		must(enc.Encode(h))
+		col := tp.Col
+		must(enc.Encode(topixHeader(tp)))
 		for id := 0; id < col.NumDocs(); id++ {
-			d := col.Doc(id)
-			counts := make(map[string]int, len(d.Counts))
-			for term, n := range d.Counts {
-				counts[col.Dict().Term(term)] = n
-			}
-			must(enc.Encode(docLine{
-				Stream: col.Stream(d.Stream).Name,
-				Time:   d.Time,
-				Counts: counts,
-				Event:  tp.Labels[id],
-			}))
+			must(enc.Encode(topixDoc(tp, id)))
 		}
 	case "distgen", "randgen":
 		mode := gen.DistGen
@@ -119,6 +134,115 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -kind %q", *kind))
 	}
+}
+
+func topixHeader(tp *gen.Topix) header {
+	col := tp.Col
+	h := header{Kind: "topix", Timeline: col.Length()}
+	for i := 0; i < col.NumStreams(); i++ {
+		h.Streams = append(h.Streams, col.Stream(i).Name)
+	}
+	return h
+}
+
+func topixDoc(tp *gen.Topix, id int) docLine {
+	col := tp.Col
+	d := col.Doc(id)
+	counts := make(map[string]int, len(d.Counts))
+	for term, n := range d.Counts {
+		counts[col.Dict().Term(term)] = n
+	}
+	return docLine{
+		Stream: col.Stream(d.Stream).Name,
+		Time:   d.Time,
+		Counts: counts,
+		Event:  tp.Labels[id],
+	}
+}
+
+// followTopix appends the generated documents to path one line every
+// 1/rate seconds, creating the file (header first) when it is missing
+// and otherwise resuming after the last complete line — generation is
+// seed-deterministic, so the next document is always line count minus
+// the header. A torn final line (a previous follower killed mid-write)
+// is truncated away before appending; json.Encoder sorts the count
+// maps' keys, so resumed bytes match what a single run would have
+// produced.
+func followTopix(tp *gen.Topix, path string, rate float64) error {
+	col := tp.Col
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	lines, err := resumeTruncate(f)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	next := 0
+	if lines == 0 {
+		if err := enc.Encode(topixHeader(tp)); err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	} else {
+		next = lines - 1
+	}
+	if next >= col.NumDocs() {
+		fmt.Fprintf(os.Stderr, "stgen: %s already holds all %d documents\n", path, col.NumDocs())
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "stgen: following %s from document %d/%d at %g docs/sec\n",
+		path, next, col.NumDocs(), rate)
+	interval := time.Duration(float64(time.Second) / rate)
+	for id := next; id < col.NumDocs(); id++ {
+		if err := enc.Encode(topixDoc(tp, id)); err != nil {
+			return err
+		}
+		// One flush per line: the tailer must never wait on a half-
+		// buffered document, and a kill tears at most the line in
+		// flight.
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		time.Sleep(interval)
+	}
+	fmt.Fprintf(os.Stderr, "stgen: feed complete: %d documents in %s\n", col.NumDocs(), path)
+	return nil
+}
+
+// resumeTruncate counts the complete lines in f and truncates any
+// trailing partial line, leaving the write offset at the end.
+func resumeTruncate(f *os.File) (lines int, err error) {
+	r := bufio.NewReader(f)
+	var off, lastNL int64
+	for {
+		b, err := r.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		off++
+		if b == '\n' {
+			lines++
+			lastNL = off
+		}
+	}
+	if off > lastNL {
+		if err := f.Truncate(lastNL); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := f.Seek(lastNL, io.SeekStart); err != nil {
+		return 0, err
+	}
+	return lines, nil
 }
 
 func must(err error) {

@@ -91,7 +91,23 @@
 // path — a kill -9 mid-ingest loses nothing that was acknowledged. A
 // successful snapshot save rotates the log's segments. -fsync never
 // trades that guarantee for speed: the OS flushes when it pleases, and
-// a crash may lose acknowledged batches.
+// a crash may lose acknowledged batches. -wal-prune additionally
+// absorbs sealed segments into the -corpus file after every snapshot
+// save so the log stays bounded, and -wal-prune-interval re-saves the
+// -snapshot bundle on a timer so those saves actually happen under
+// sustained ingestion.
+//
+// Streaming connectors pull documents in without any HTTP client.
+// -tail follows a growing JSONL feed file (the stgen -follow format:
+// an optional header line, then one document per line), resuming after
+// a restart from an fsync'd checkpoint next to the feed so no document
+// is lost or applied twice; -listen-ingest accepts line- or
+// length-framed JSONL documents over TCP (-listen-framing picks the
+// framing). Both deliver through the same Ingester → WAL → dirty-term
+// re-mine path as POST /v1/documents, are supervised with capped
+// exponential backoff, and report per-connector counters on /metrics
+// and a connectors block on /v1/stats. On shutdown the sources drain
+// their buffered batches before the WAL closes.
 //
 // -debug-addr starts a second listener with net/http/pprof under
 // /debug/pprof/ (plus another /metrics exposition). Profiling never
@@ -115,6 +131,7 @@ import (
 	"time"
 
 	"stburst"
+	"stburst/internal/connector"
 	"stburst/internal/serve"
 	"stburst/internal/sub"
 )
@@ -135,6 +152,12 @@ func main() {
 		maxSubs        = flag.Int("max-subscriptions", 0, "cap on registered subscriptions; creates past it answer 429 (0 = default 65536)")
 		walDir         = flag.String("wal-dir", "", "write-ahead log directory: log every ingest batch before applying it and replay the log on boot")
 		fsync          = flag.String("fsync", "always", "WAL fsync policy: always (acknowledged = durable) or never (faster, crash may lose batches)")
+		walPrune       = flag.Bool("wal-prune", false, "absorb sealed WAL segments into the -corpus file after each snapshot save so the log stays bounded (requires -wal-dir)")
+		walPruneIvl    = flag.Duration("wal-prune-interval", 0, "re-save the -snapshot bundle this often so -wal-prune compacts the log under sustained ingestion (requires -wal-prune and -snapshot)")
+		tailPath       = flag.String("tail", "", "follow this JSONL feed file, ingesting appended documents as they arrive (resumes from a checkpoint)")
+		tailCkpt       = flag.String("tail-checkpoint", "", "tailer checkpoint file (default: <tail path>.checkpoint)")
+		listenIngest   = flag.String("listen-ingest", "", "accept framed JSONL documents over TCP on this address and ingest them")
+		listenFraming  = flag.String("listen-framing", "line", "ingest socket framing: line (newline-delimited) or len (4-byte big-endian length prefix)")
 	)
 	flag.Parse()
 	log.SetPrefix("stserve: ")
@@ -142,6 +165,25 @@ func main() {
 	if *corpus == "" {
 		log.Fatal("-corpus is required")
 	}
+	if *walPrune && *walDir == "" {
+		log.Fatal("-wal-prune requires -wal-dir: there is no log to prune")
+	}
+	if *walPruneIvl > 0 {
+		if !*walPrune {
+			log.Fatal("-wal-prune-interval requires -wal-prune: a periodic save without pruning armed never compacts the log")
+		}
+		if *snapshot == "" {
+			log.Fatal("-wal-prune-interval requires -snapshot: there is nowhere to save the bundle")
+		}
+	}
+	var socketFraming connector.Framing
+	if *listenIngest != "" {
+		var err error
+		if socketFraming, err = connector.ParseFraming(*listenFraming); err != nil {
+			log.Fatal(err)
+		}
+	}
+	connectorsEnabled := *tailPath != "" || *listenIngest != ""
 	var walSync stburst.WALSync
 	switch *fsync {
 	case "always":
@@ -171,7 +213,11 @@ func main() {
 	var wal *stburst.WAL
 	if *walDir != "" {
 		start = time.Now()
-		wal, err = stburst.OpenWAL(*walDir, stburst.WithWALSync(walSync))
+		walOpts := []stburst.WALOption{stburst.WithWALSync(walSync)}
+		if *walPrune {
+			walOpts = append(walOpts, stburst.WithWALPrune(*corpus))
+		}
+		wal, err = stburst.OpenWAL(*walDir, walOpts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -199,8 +245,8 @@ func main() {
 		// set's shared generation — and the bundle must have been mined
 		// from exactly this corpus, or the shard would answer with foreign
 		// document IDs.
-		if *ingest || *walDir != "" {
-			log.Fatalf("snapshot %s is shard %d/%d: a shard member is read-only (-ingest/-wal-dir are not allowed; ingest into an unsharded deployment and re-run stmine -shards)",
+		if *ingest || *walDir != "" || connectorsEnabled {
+			log.Fatalf("snapshot %s is shard %d/%d: a shard member is read-only (-ingest/-wal-dir/-tail/-listen-ingest are not allowed; ingest into an unsharded deployment and re-run stmine -shards)",
 				*snapshot, si.Shard, si.Shards)
 		}
 		if si.CorpusFingerprint != "" && si.CorpusFingerprint != c.Checksum() {
@@ -220,12 +266,15 @@ func main() {
 	log.Printf("search engines built in %v", time.Since(start).Round(time.Millisecond))
 
 	handler := serve.New(c, store, *snapshot)
+	if *ingest || connectorsEnabled || wal != nil {
+		// Every write path (HTTP ingest, streaming connectors, WAL
+		// attach) re-mines dirty terms; give it the same worker budget
+		// mining used — stores loaded from a snapshot have no recorded
+		// options, so set them explicitly either way.
+		store.SetMineOptions(stburst.NewMineOptions(stburst.WithParallelism(*parallel)))
+	}
 	var ing *stburst.Ingester
 	if *ingest {
-		// Re-mine dirty terms with the same worker budget mining used;
-		// stores loaded from a snapshot have no recorded options, so set
-		// them explicitly either way.
-		store.SetMineOptions(stburst.NewMineOptions(stburst.WithParallelism(*parallel)))
 		opts := []stburst.IngesterOption{
 			stburst.WithFlushDocs(*ingestBatch),
 			stburst.WithOnFlush(func(res stburst.IngestResult, err error) {
@@ -259,13 +308,50 @@ func main() {
 		}
 	}
 
+	// Streaming connectors: each source gets its own dedicated Ingester
+	// (sized so it never auto-flushes — the sink drives every flush
+	// synchronously, which is the backpressure path) and delivers into
+	// the same Store.Ingest → WAL → dirty-term re-mine path as
+	// POST /v1/documents. Built and registered before traffic so metric
+	// scrapes never race source registration; started only after the
+	// WAL is attached so the first tailed batch is already durable.
+	var (
+		sup      *connector.Supervisor
+		connIngs []*stburst.Ingester
+	)
+	if connectorsEnabled {
+		sup = connector.NewSupervisor(connector.SupervisorConfig{Logf: log.Printf})
+		newSink := func() *serve.IngestSink {
+			ci := stburst.NewIngester(store, stburst.WithFlushDocs(1<<30))
+			connIngs = append(connIngs, ci)
+			return serve.NewIngestSink(c, ci)
+		}
+		if *tailPath != "" {
+			cfg := connector.TailConfig{Path: *tailPath, CheckpointPath: *tailCkpt}
+			src := connector.NewTailSource(cfg, newSink())
+			sup.Add(src)
+			ckpt := *tailCkpt
+			if ckpt == "" {
+				ckpt = *tailPath + ".checkpoint"
+			}
+			log.Printf("connector: tailing %s (checkpoint %s)", *tailPath, ckpt)
+		}
+		if *listenIngest != "" {
+			cfg := connector.SocketConfig{Addr: *listenIngest, Framing: socketFraming}
+			src := connector.NewSocketSource(cfg, newSink())
+			sup.Add(src)
+			log.Printf("connector: ingest socket on %s (%s framing)", *listenIngest, socketFraming)
+		}
+		handler.EnableConnectors(sup)
+		if *walDir == "" {
+			log.Printf("connectors run without -wal-dir: ingested documents are memory-only and a crash loses them")
+		}
+	}
+
 	// Recovery phase 2: with the indexes resident and the mine options
 	// recorded, re-mine whatever the snapshot had not absorbed, restore
 	// the pre-crash generation and arm logging for live ingestion.
 	if wal != nil {
-		if !*ingest {
-			store.SetMineOptions(stburst.NewMineOptions(stburst.WithParallelism(*parallel)))
-		}
 		att, err := store.AttachWAL(context.Background(), wal)
 		if err != nil {
 			log.Fatal(err)
@@ -276,6 +362,37 @@ func main() {
 		} else {
 			log.Printf("wal attached: logging ingest batches (fsync %s)", *fsync)
 		}
+	}
+
+	if sup != nil {
+		sup.Start(context.Background())
+		log.Printf("connectors: %d source(s) supervised", sup.NumSources())
+	}
+
+	// The periodic saver exists for -wal-prune: every successful save
+	// absorbs the sealed segments into the corpus file and deletes them,
+	// so under sustained connector ingestion the log stays bounded.
+	var pruneStop, pruneDone chan struct{}
+	if *walPruneIvl > 0 {
+		pruneStop, pruneDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(pruneDone)
+			t := time.NewTicker(*walPruneIvl)
+			defer t.Stop()
+			for {
+				select {
+				case <-pruneStop:
+					return
+				case <-t.C:
+					if err := store.SaveFile(*snapshot); err != nil {
+						log.Printf("periodic snapshot save: %v", err)
+					} else {
+						log.Printf("snapshot %s re-saved; sealed wal segments absorbed into %s", *snapshot, *corpus)
+					}
+				}
+			}
+		}()
+		log.Printf("wal pruning armed: re-saving %s every %v", *snapshot, *walPruneIvl)
 	}
 
 	if *debugAddr != "" {
@@ -305,12 +422,29 @@ func main() {
 		IdleTimeout:       60 * time.Second,
 	}
 	err = listenAndDrain(srv)
+	if sup != nil {
+		// Stop the sources first: each drains its buffered batch through
+		// its sink before exiting, and nothing may write after the
+		// ingesters close.
+		sup.Stop()
+	}
+	for _, ci := range connIngs {
+		if cerr := ci.Close(); cerr != nil {
+			log.Printf("closing connector ingester: %v", cerr)
+		}
+	}
 	if ing != nil {
 		// Drain whatever the batcher still buffers: a rolling restart
 		// must not drop accepted documents.
 		if cerr := ing.Close(); cerr != nil {
 			log.Printf("closing ingester: %v", cerr)
 		}
+	}
+	if pruneStop != nil {
+		// After the final flushes so a last save could still absorb
+		// them, and strictly before the WAL closes.
+		close(pruneStop)
+		<-pruneDone
 	}
 	// After the final ingest flush, so its alerts still reach the queue;
 	// draining the dispatcher delivers every queued webhook batch.

@@ -180,7 +180,7 @@ func (g *Ingester) Flush(ctx context.Context) (*IngestResult, error) {
 // store itself remembers the terms whose refresh is still owed.
 func (g *Ingester) flushLocked(ctx context.Context) (*IngestResult, error) {
 	if len(g.buf) == 0 && !g.repair {
-		return &IngestResult{Generation: g.s.Generation()}, nil
+		return &IngestResult{Generation: g.s.Generation(), TotalDocs: g.s.c.NumDocs()}, nil
 	}
 	// With an empty buffer but repair owed, the empty Ingest re-mines
 	// the store's remembered stale dirty terms.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -475,6 +476,141 @@ func TestIngesterDropsAppendedBatchOnIncomplete(t *testing.T) {
 	}
 	if got, want := live.NumDocs(), docsAfterBuffer+3; got != want {
 		t.Fatalf("collection holds %d docs, want %d (batch applied exactly once)", got, want)
+	}
+}
+
+// TestIngesterAddCloseRace: concurrent Adds racing one Close never
+// panic, never deadlock, and never lose a document — every Add that
+// returned without ErrIngesterClosed is in the collection afterwards,
+// and every Add after the seal reports ErrIngesterClosed.
+func TestIngesterAddCloseRace(t *testing.T) {
+	c := twoBurstCollection(t)
+	s, err := c.MineStore(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.NumDocs()
+	ing := NewIngester(s, WithFlushDocs(4))
+
+	const adders = 8
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < adders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 16; j++ {
+				_, err := ing.Add(IncomingDocument{Stream: 0, Time: 3, Text: "aftershock tremor"})
+				if errors.Is(err, ErrIngesterClosed) {
+					return
+				}
+				if err != nil {
+					t.Errorf("racing Add: %v", err)
+					return
+				}
+				accepted.Add(1)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		if err := ing.Close(); err != nil {
+			t.Errorf("racing Close: %v", err)
+		}
+	}()
+	close(start)
+	wg.Wait()
+	if got, want := c.NumDocs(), before+int(accepted.Load()); got != want {
+		t.Fatalf("collection holds %d docs, want %d: an accepted Add was dropped across Close", got, want)
+	}
+	if _, err := ing.Add(liveBatch()[0]); !errors.Is(err, ErrIngesterClosed) {
+		t.Errorf("Add after racing Close = %v, want ErrIngesterClosed", err)
+	}
+}
+
+// TestIngesterFlushErrorPropagates: a batch the store rejects before the
+// append (invalid stream) surfaces its error from Flush, from a
+// size-triggered Add, from the OnFlush callback and finally from Close —
+// and the rejected documents stay buffered rather than vanishing.
+func TestIngesterFlushErrorPropagates(t *testing.T) {
+	c := twoBurstCollection(t)
+	s, err := c.MineStore(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cbErrs int
+	ing := NewIngester(s, WithFlushDocs(100), WithOnFlush(func(_ IngestResult, err error) {
+		if err != nil {
+			cbErrs++
+		}
+	}))
+	bad := IncomingDocument{Stream: 99, Time: 3, Text: "no such stream"}
+	if _, err := ing.Add(bad); err != nil {
+		t.Fatalf("Add below flush size must buffer, got %v", err)
+	}
+	if _, err := ing.Flush(context.Background()); err == nil {
+		t.Fatal("Flush of an invalid batch reported success")
+	}
+	if cbErrs != 1 {
+		t.Errorf("OnFlush saw %d errors, want 1", cbErrs)
+	}
+	if ing.Pending() != 1 {
+		t.Errorf("Pending = %d after a pre-append failure, want the batch kept for retry", ing.Pending())
+	}
+	if err := ing.Close(); err == nil {
+		t.Error("Close swallowed the final flush failure")
+	}
+
+	// The same error also surfaces synchronously from the Add that
+	// trips the flush size.
+	ing2 := NewIngester(s, WithFlushDocs(1))
+	defer ing2.Close()
+	if _, err := ing2.Add(bad); err == nil {
+		t.Error("size-triggered Add of an invalid batch reported success")
+	}
+}
+
+// TestIngesterPendingAfterFailedFlush: a flush that fails before the
+// append (cancelled context) must leave Pending exactly as it was —
+// the documents are still owed — and a later healthy flush drains them
+// exactly once.
+func TestIngesterPendingAfterFailedFlush(t *testing.T) {
+	c := twoBurstCollection(t)
+	s, err := c.MineStore(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.NumDocs()
+	ing := NewIngester(s, WithFlushDocs(100))
+	defer ing.Close()
+	if _, err := ing.Add(liveBatch()...); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3 buffered", ing.Pending())
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ing.Flush(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Flush(cancelled) = %v, want context.Canceled", err)
+	}
+	if ing.Pending() != 3 {
+		t.Fatalf("Pending = %d after a cancelled flush, want 3 still buffered", ing.Pending())
+	}
+	if c.NumDocs() != before {
+		t.Fatal("cancelled flush published documents")
+	}
+	res, err := ing.Flush(context.Background())
+	if err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	if res.Docs != 3 || ing.Pending() != 0 || c.NumDocs() != before+3 {
+		t.Fatalf("retry flush = %+v (pending %d, docs %d), want the batch applied exactly once",
+			res, ing.Pending(), c.NumDocs())
 	}
 }
 

@@ -1,0 +1,199 @@
+package connector
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memSink is an in-memory Sink for source tests: it appends accepted
+// documents to a slice and exposes the running total, mimicking the
+// serve layer's store-backed sink closely enough for resume
+// arithmetic. base simulates documents that existed before the source
+// started (the snapshot corpus). rejectStream drops matching docs as
+// validation rejects. failN makes the next N Ingest calls return
+// errFlush without applying, exercising source error paths.
+type memSink struct {
+	mu           sync.Mutex
+	base         int
+	docs         []Doc
+	rejectStream string
+	failN        int
+	calls        int
+}
+
+var errFlush = errors.New("sink flush failed")
+
+func (m *memSink) Ingest(ctx context.Context, docs []Doc) (SinkResult, error) {
+	if err := ctx.Err(); err != nil {
+		return SinkResult{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.calls++
+	if m.failN > 0 {
+		m.failN--
+		return SinkResult{}, errFlush
+	}
+	var res SinkResult
+	for _, d := range docs {
+		if m.rejectStream != "" && d.Stream == m.rejectStream {
+			res.Rejected++
+			continue
+		}
+		m.docs = append(m.docs, d)
+		res.Applied++
+	}
+	res.Total = m.base + len(m.docs)
+	return res, nil
+}
+
+func (m *memSink) Docs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.base + len(m.docs)
+}
+
+func (m *memSink) applied() []Doc {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Doc(nil), m.docs...)
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/feed.checkpoint"
+	if _, ok, err := LoadCheckpoint(path); err != nil || ok {
+		t.Fatalf("missing checkpoint: ok=%v err=%v, want fresh start", ok, err)
+	}
+	want := Checkpoint{Offset: 12345, Docs: 67}
+	if err := want.Save(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, ok, err := LoadCheckpoint(path)
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if got.Offset != want.Offset || got.Docs != want.Docs {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+	// Overwrite must be atomic-rename, not truncate-write.
+	next := Checkpoint{Offset: 99999, Docs: 100}
+	if err := next.Save(path); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	got, _, _ = LoadCheckpoint(path)
+	if got.Offset != 99999 {
+		t.Fatalf("after overwrite: got %+v", got)
+	}
+}
+
+func TestCheckpointCorruptIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"garbage.checkpoint": "not json\n",
+		"version.checkpoint": `{"version":99,"offset":1,"docs":1}`,
+		"negative.checkpoint": `{"version":1,"offset":-5,"docs":1}`,
+	} {
+		path := dir + "/" + name
+		writeFile(t, path, body)
+		if _, _, err := LoadCheckpoint(path); err == nil {
+			t.Errorf("%s: corrupt checkpoint loaded without error", name)
+		}
+	}
+}
+
+// flappySource fails a fixed number of runs before running clean, for
+// supervisor restart tests.
+type flappySource struct {
+	name     string
+	failures int
+	mu       sync.Mutex
+	runs     int
+	ran      chan struct{} // receives one token per Run invocation
+}
+
+func (f *flappySource) Name() string      { return f.name }
+func (f *flappySource) Stats() SourceStats { return SourceStats{Name: f.name, Lag: -1, Conns: -1} }
+
+func (f *flappySource) Run(ctx context.Context) error {
+	f.mu.Lock()
+	f.runs++
+	n := f.runs
+	f.mu.Unlock()
+	if f.ran != nil {
+		f.ran <- struct{}{}
+	}
+	if n <= f.failures {
+		return errors.New("synthetic failure")
+	}
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func TestSupervisorRestartsWithBackoff(t *testing.T) {
+	src := &flappySource{name: "flappy", failures: 3, ran: make(chan struct{}, 8)}
+	sup := NewSupervisor(SupervisorConfig{
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		Logf:        func(string, ...any) {},
+	})
+	sup.Add(src)
+	if got := sup.StatAt(0).State; got != StateIdle {
+		t.Fatalf("pre-start state = %q, want %q", got, StateIdle)
+	}
+	sup.Start(context.Background())
+	// Four Run invocations: three failures, then the clean run that
+	// blocks until Stop.
+	for i := 0; i < 4; i++ {
+		select {
+		case <-src.ran:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("run %d never started (restarts=%d)", i+1, sup.StatAt(0).Restarts)
+		}
+	}
+	waitFor(t, func() bool { return sup.StatAt(0).State == StateRunning })
+	if got := sup.StatAt(0).Restarts; got != 3 {
+		t.Fatalf("restarts = %d, want 3", got)
+	}
+	sup.Stop()
+	if got := sup.StatAt(0).State; got != StateStopped {
+		t.Fatalf("post-stop state = %q, want %q", got, StateStopped)
+	}
+}
+
+func TestSupervisorCleanExitStopsSupervision(t *testing.T) {
+	src := &flappySource{name: "oneshot", failures: 0, ran: make(chan struct{}, 2)}
+	sup := NewSupervisor(SupervisorConfig{Logf: func(string, ...any) {}})
+	sup.Add(src)
+	ctx, cancel := context.WithCancel(context.Background())
+	sup.Start(ctx)
+	<-src.ran
+	cancel() // the clean run returns ctx.Err(); no restart must follow
+	waitFor(t, func() bool { return sup.StatAt(0).State == StateStopped })
+	if got := sup.StatAt(0).Restarts; got != 0 {
+		t.Fatalf("restarts after clean exit = %d, want 0", got)
+	}
+	sup.Stop()
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}
+
+func writeFile(t *testing.T, path, body string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

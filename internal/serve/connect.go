@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"stburst"
+	"stburst/internal/connector"
+	"stburst/internal/metrics"
+)
+
+// This file is the serve layer's half of the streaming-connector
+// subsystem: the durable Sink the sources deliver into, and the
+// stats/metrics surface over a running Supervisor. The connector
+// package owns transports and supervision; this layer owns validation
+// (stream names, timeline bounds) and durability (the Ingester → WAL
+// path), exactly the same split POST /v1/documents has between its
+// handler and the store.
+
+// IngestSink adapts a dedicated Ingester into connector.Sink. Ingest
+// converts feed documents into store form, rejecting (and counting)
+// ones that cannot ever apply — unknown stream, out-of-range time —
+// rather than wedging the feed behind them, and then flushes
+// synchronously, retrying transient store errors with capped backoff
+// until the batch is WAL-durable or ctx is cancelled. The synchronous
+// flush is the backpressure path: a source blocked here stops reading
+// its feed.
+//
+// Each source must own its sink and its Ingester: the retry loop
+// relies on the ingester buffering only this sink's documents, and the
+// checkpoint arithmetic relies on IngestResult.TotalDocs being read
+// under the store's write lock with this batch last.
+type IngestSink struct {
+	c   *stburst.Collection
+	ing *stburst.Ingester
+	// streamIdx resolves feed stream names; built once from the
+	// collection's fixed stream list.
+	streamIdx map[string]int
+	// RetryBase/RetryMax tune the flush retry backoff (defaults
+	// 100ms/5s); tests shrink them.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+
+	mu sync.Mutex
+	// buffered counts documents left in the ingester by an Ingest call
+	// that gave up on ctx cancellation; the next call (or the
+	// ingester's Close) flushes them before accepting new work.
+	buffered int
+}
+
+// NewIngestSink builds a sink over a collection and a dedicated
+// ingester. The ingester should never auto-flush (its flush size and
+// interval belong to the sink's callers — the sources batch
+// themselves), so build it with a flush size no batch will reach.
+func NewIngestSink(c *stburst.Collection, ing *stburst.Ingester) *IngestSink {
+	k := &IngestSink{
+		c:         c,
+		ing:       ing,
+		streamIdx: make(map[string]int, c.NumStreams()),
+		RetryBase: 100 * time.Millisecond,
+		RetryMax:  5 * time.Second,
+	}
+	for x := 0; x < c.NumStreams(); x++ {
+		k.streamIdx[c.Stream(x).Name] = x
+	}
+	return k
+}
+
+// Docs implements connector.Sink: the collection's current document
+// count, which sources compare against a checkpoint to dedupe resume.
+func (k *IngestSink) Docs() int { return k.c.NumDocs() }
+
+// convert validates one feed document into store form. The Counts map
+// is expanded into sorted repeated tokens — prepareBatch recounts
+// tokens verbatim, so the round trip reproduces the exact count map a
+// corpus load would produce.
+func (k *IngestSink) convert(d connector.Doc) (stburst.IncomingDocument, error) {
+	x, ok := k.streamIdx[d.Stream]
+	if !ok {
+		return stburst.IncomingDocument{}, fmt.Errorf("unknown stream %q", d.Stream)
+	}
+	if d.Time < 0 || d.Time >= k.c.Timeline() {
+		return stburst.IncomingDocument{}, fmt.Errorf("time %d outside the timeline [0, %d)", d.Time, k.c.Timeline())
+	}
+	doc := stburst.IncomingDocument{Stream: x, Time: d.Time, Text: d.Text, Tokens: d.Tokens}
+	if len(d.Counts) > 0 {
+		terms := make([]string, 0, len(d.Counts))
+		for term := range d.Counts {
+			terms = append(terms, term)
+		}
+		sort.Strings(terms)
+		var tokens []string
+		for _, term := range terms {
+			for i := 0; i < d.Counts[term]; i++ {
+				tokens = append(tokens, term)
+			}
+		}
+		doc.Tokens = tokens
+		doc.Text = ""
+	}
+	return doc, nil
+}
+
+// Ingest implements connector.Sink. On return with a nil error every
+// accepted document is applied to the collection (and fsync'd to the
+// WAL when one is attached); SinkResult.Total is the store's document
+// count with this batch last, read under the write lock.
+func (k *IngestSink) Ingest(ctx context.Context, docs []connector.Doc) (connector.SinkResult, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.buffered > 0 {
+		// Residue from a call that was cancelled between Add and a
+		// durable flush. Land it first — its documents belong to an
+		// older batch whose source already moved on, so they are not
+		// reported in this result, but they must precede this batch in
+		// the collection.
+		if _, err := k.flush(ctx); err != nil {
+			return connector.SinkResult{}, err
+		}
+		k.buffered = 0
+	}
+	var res connector.SinkResult
+	valid := make([]stburst.IncomingDocument, 0, len(docs))
+	for _, d := range docs {
+		doc, err := k.convert(d)
+		if err != nil {
+			res.Rejected++
+			continue
+		}
+		valid = append(valid, doc)
+	}
+	if len(valid) == 0 {
+		res.Total = k.c.NumDocs()
+		return res, nil
+	}
+	if _, err := k.ing.Add(valid...); err != nil {
+		// The ingester never auto-flushes for sink batches, so an Add
+		// error means it is closed (shutdown): nothing was buffered.
+		return connector.SinkResult{}, err
+	}
+	k.buffered = len(valid)
+	ires, err := k.flush(ctx)
+	if err != nil {
+		return connector.SinkResult{}, err
+	}
+	k.buffered = 0
+	res.Applied = len(valid)
+	res.Total = ires.TotalDocs
+	return res, nil
+}
+
+// flush drives the ingester until the buffered documents are durable,
+// retrying transient errors with capped backoff. It returns only on
+// success, ctx cancellation (documents stay buffered; Close or the
+// next call lands them), or a permanent error (ingester closed).
+func (k *IngestSink) flush(ctx context.Context) (*stburst.IngestResult, error) {
+	backoff := k.RetryBase
+	for {
+		res, err := k.ing.Flush(ctx)
+		if err == nil {
+			return res, nil
+		}
+		if errors.Is(err, stburst.ErrIngestIncomplete) {
+			// The documents WERE appended (and logged); only the index
+			// refresh is owed, and the store repairs it on a later
+			// ingest. For delivery accounting this is success.
+			return &stburst.IngestResult{Generation: 0, TotalDocs: k.c.NumDocs()}, nil
+		}
+		if errors.Is(err, stburst.ErrIngesterClosed) || ctx.Err() != nil {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > k.RetryMax {
+			backoff = k.RetryMax
+		}
+	}
+}
+
+// EnableConnectors points the stats and metrics surface at a connector
+// supervisor. Call after Add-ing every source and before Start, like
+// EnableIngest: the per-source gauge families are registered here, and
+// a scrape must never race source registration. The server does not
+// own the supervisor's lifecycle — the caller starts it after the WAL
+// is attached and stops it before the ingesters close.
+func (s *Server) EnableConnectors(sup *connector.Supervisor) {
+	s.connectors = sup
+	for i := 0; i < sup.NumSources(); i++ {
+		i := i
+		st := sup.StatAt(i)
+		label := metrics.L("connector", st.Name)
+		s.obs.s.NewGaugeFunc("stserve_connector_docs_total",
+			"Documents durably ingested through this connector.",
+			func() float64 { return float64(sup.StatAt(i).Docs) }, label)
+		s.obs.s.NewGaugeFunc("stserve_connector_errors_total",
+			"Parse failures, validation rejects and transport errors on this connector.",
+			func() float64 { return float64(sup.StatAt(i).Errors) }, label)
+		s.obs.s.NewGaugeFunc("stserve_connector_restarts_total",
+			"Times the supervisor restarted this connector after a failure.",
+			func() float64 { return float64(sup.StatAt(i).Restarts) }, label)
+		if st.Lag >= 0 {
+			s.obs.s.NewGaugeFunc("stserve_connector_lag_bytes",
+				"Feed bytes not yet read by the tailing connector.",
+				func() float64 { return float64(sup.StatAt(i).Lag) }, label)
+		}
+	}
+}
+
+// connectorStats assembles the /v1/stats connectors block.
+func (s *Server) connectorStats() map[string]any {
+	if s.connectors == nil {
+		return map[string]any{"enabled": false}
+	}
+	states := s.connectors.Stats()
+	sources := make([]map[string]any, len(states))
+	for i, st := range states {
+		src := map[string]any{
+			"name":     st.Name,
+			"state":    st.State,
+			"docs":     st.Docs,
+			"errors":   st.Errors,
+			"restarts": st.Restarts,
+		}
+		if st.Lag >= 0 {
+			src["lag_bytes"] = st.Lag
+		}
+		if st.Conns >= 0 {
+			src["connections"] = st.Conns
+		}
+		if st.LastError != "" {
+			src["last_error"] = st.LastError
+		}
+		sources[i] = src
+	}
+	return map[string]any{"enabled": true, "sources": sources}
+}

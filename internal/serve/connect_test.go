@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"stburst"
+	"stburst/internal/connector"
+)
+
+// This file tests the streaming-connector glue end to end: the
+// IngestSink's validation and durability contract, and — the
+// acceptance oracle — a tailing connector killed mid-stream whose
+// reboot (WAL replay + checkpoint resume) reproduces a never-crashed
+// store checksum-for-checksum.
+
+// connectorIngester builds the dedicated never-auto-flush ingester a
+// connector sink requires.
+func connectorIngester(s *stburst.Store) *stburst.Ingester {
+	return stburst.NewIngester(s, stburst.WithFlushDocs(1<<30))
+}
+
+// fastSink builds an IngestSink with test-speed retry backoff.
+func fastSink(c *stburst.Collection, ing *stburst.Ingester) *IngestSink {
+	k := NewIngestSink(c, ing)
+	k.RetryBase = time.Millisecond
+	k.RetryMax = 10 * time.Millisecond
+	return k
+}
+
+func TestIngestSinkValidatesAndApplies(t *testing.T) {
+	c := serveCollection(t)
+	s := storeOf(t, c, c.MineAllRegional(nil, 0))
+	ing := connectorIngester(s)
+	defer ing.Close()
+	sink := fastSink(c, ing)
+	base := c.NumDocs()
+
+	res, err := sink.Ingest(context.Background(), []connector.Doc{
+		{Stream: "lima", Time: 3, Counts: map[string]int{"earthquake": 2, "rescue": 1}},
+		{Stream: "atlantis", Time: 3, Text: "no such stream"},
+		{Stream: "quito", Time: 99, Text: "time beyond the timeline"},
+		{Stream: "tokyo", Time: 0, Tokens: []string{"exports", "surge", "import"}},
+	})
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if res.Applied != 2 || res.Rejected != 2 {
+		t.Fatalf("result = %+v, want 2 applied, 2 rejected", res)
+	}
+	if res.Total != base+2 || c.NumDocs() != base+2 {
+		t.Fatalf("Total = %d, collection = %d, want %d", res.Total, c.NumDocs(), base+2)
+	}
+
+	// The counts round trip exactly: expanding the map into sorted
+	// repeated tokens and recounting must reproduce the same content a
+	// direct token append stores. The oracle presents each document's
+	// tokens pre-sorted because the live Append path interns a
+	// document's new terms in sorted order, and Checksum covers the
+	// dictionary.
+	oracle := serveCollection(t)
+	if _, err := oracle.AddTokens(0, 3, []string{"earthquake", "earthquake", "rescue"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oracle.AddTokens(2, 0, []string{"exports", "import", "surge"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Checksum() != oracle.Checksum() {
+		t.Fatal("count expansion did not reproduce AddStringCounts content")
+	}
+}
+
+func TestIngestSinkCancelledContextKeepsBatchForRetry(t *testing.T) {
+	c := serveCollection(t)
+	s := storeOf(t, c, c.MineAllRegional(nil, 0))
+	ing := connectorIngester(s)
+	defer ing.Close()
+	sink := fastSink(c, ing)
+	base := c.NumDocs()
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sink.Ingest(cancelled, []connector.Doc{{Stream: "lima", Time: 1, Text: "boat race"}}); err == nil {
+		t.Fatal("Ingest with cancelled context succeeded")
+	}
+	// The document is residue inside the ingester; the next successful
+	// call must land it exactly once, before its own batch.
+	res, err := sink.Ingest(context.Background(), []connector.Doc{{Stream: "quito", Time: 2, Text: "border fair"}})
+	if err != nil {
+		t.Fatalf("follow-up Ingest: %v", err)
+	}
+	if res.Applied != 1 || res.Total != base+2 {
+		t.Fatalf("follow-up result = %+v, want 1 applied and total %d", res, base+2)
+	}
+	if got := c.NumDocs(); got != base+2 {
+		t.Fatalf("collection = %d docs, want %d (residue lost or duplicated)", got, base+2)
+	}
+}
+
+// tailFeedDoc is the JSONL line shape the tail tests write.
+func tailFeedLine(stream string, tm int, counts map[string]int) string {
+	raw, _ := json.Marshal(connector.Doc{Stream: stream, Time: tm, Counts: counts})
+	return string(raw) + "\n"
+}
+
+// bootTailed assembles one "process incarnation" of a WAL-backed,
+// tail-connected store: fresh collection, WAL replay, mine, attach,
+// dedicated ingester + sink, supervised tailer. It returns the pieces
+// a test needs to observe and to crash (cancel + abandon).
+type tailedProc struct {
+	c    *stburst.Collection
+	s    *stburst.Store
+	w    *stburst.WAL
+	ing  *stburst.Ingester
+	sink *IngestSink
+	sup  *connector.Supervisor
+}
+
+func bootTailed(t *testing.T, walDir, feed string) *tailedProc {
+	t.Helper()
+	ctx := context.Background()
+	c := serveCollection(t)
+	w, err := stburst.OpenWAL(walDir)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	if _, err := c.ReplayWAL(ctx, w); err != nil {
+		t.Fatalf("ReplayWAL: %v", err)
+	}
+	s, err := c.MineStore(ctx, nil)
+	if err != nil {
+		t.Fatalf("MineStore: %v", err)
+	}
+	if _, err := s.AttachWAL(ctx, w); err != nil {
+		t.Fatalf("AttachWAL: %v", err)
+	}
+	ing := connectorIngester(s)
+	sink := fastSink(c, ing)
+	sup := connector.NewSupervisor(connector.SupervisorConfig{
+		BackoffBase: time.Millisecond,
+		Logf:        func(string, ...any) {},
+	})
+	sup.Add(connector.NewTailSource(connector.TailConfig{
+		Path:      feed,
+		BatchDocs: 3,
+		Poll:      2 * time.Millisecond,
+	}, sink))
+	sup.Start(ctx)
+	return &tailedProc{c: c, s: s, w: w, ing: ing, sink: sink, sup: sup}
+}
+
+func TestTailCrashRecoveryChecksumOracle(t *testing.T) {
+	// The acceptance property: kill -9 during active tailing, reboot,
+	// and the recovered store holds every feed document exactly once —
+	// asserted by checksum equality against a store that ingested the
+	// same feed without ever crashing. Swept over several cut points
+	// so the crash lands before, between and after checkpoint writes.
+	const nDocs = 12
+	var lines []string
+	var docs []connector.Doc
+	for i := 0; i < nDocs; i++ {
+		stream := []string{"lima", "quito", "tokyo"}[i%3]
+		counts := map[string]int{"flood": 1 + i%2, "rescue": 1, fmt.Sprintf("term%d", i): 1}
+		lines = append(lines, tailFeedLine(stream, i%12, counts))
+		docs = append(docs, connector.Doc{Stream: stream, Time: i % 12, Counts: counts})
+	}
+
+	// The never-crashed oracle, fed through the same sink code path.
+	oracleC := serveCollection(t)
+	oracleS := storeOf(t, oracleC, oracleC.MineAllRegional(nil, 0))
+	oracleIng := connectorIngester(oracleS)
+	if _, err := fastSink(oracleC, oracleIng).Ingest(context.Background(), docs); err != nil {
+		t.Fatalf("oracle ingest: %v", err)
+	}
+	if err := oracleIng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	oracleSum := oracleC.Checksum()
+	oracleDocs := oracleC.NumDocs()
+
+	for _, cut := range []int{1, 4, 9} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			walDir := filepath.Join(dir, "wal")
+			if err := os.MkdirAll(walDir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			feed := filepath.Join(dir, "feed.jsonl")
+			if err := os.WriteFile(feed, []byte(strings.Join(lines, "")), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			base := serveCollection(t).NumDocs()
+
+			// First incarnation: tail until at least `cut` docs are
+			// durable, then crash — cancel the supervisor and abandon
+			// everything un-closed. The ingester is never closed and the
+			// WAL is never cleanly shut, exactly like kill -9: only what
+			// was fsync'd (WAL frames, checkpoint renames) survives.
+			p1 := bootTailed(t, walDir, feed)
+			deadline := time.Now().Add(10 * time.Second)
+			for p1.sink.Docs() < base+cut && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			if p1.sink.Docs() < base+cut {
+				t.Fatalf("first incarnation never reached %d docs", base+cut)
+			}
+			p1.sup.Stop() // cancel + join; un-flushed residue dies with the process
+
+			// Reboot: replay the WAL into a fresh collection, attach,
+			// and resume the tailer from its checkpoint.
+			p2 := bootTailed(t, walDir, feed)
+			deadline = time.Now().Add(10 * time.Second)
+			for p2.sink.Docs() < base+nDocs && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			// A moment for a would-be duplicate flush to land before the
+			// equality check.
+			time.Sleep(20 * time.Millisecond)
+			p2.sup.Stop()
+			if err := p2.ing.Close(); err != nil {
+				t.Fatalf("closing ingester: %v", err)
+			}
+
+			if got := p2.c.NumDocs(); got != oracleDocs {
+				t.Fatalf("recovered store has %d docs, oracle %d (lost or duplicated)", got, oracleDocs)
+			}
+			if p2.c.Checksum() != oracleSum {
+				t.Fatal("recovered store checksum diverged from the never-crashed oracle")
+			}
+			if err := p2.w.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestServerConnectorsStatsAndMetrics(t *testing.T) {
+	c := serveCollection(t)
+	s := storeOf(t, c, c.MineAllRegional(nil, 0))
+	srv := New(c, s, "")
+
+	// Disabled by default: the stats block says so.
+	_, body := get(t, srv, "/v1/stats")
+	block, ok := body["connectors"].(map[string]any)
+	if !ok || block["enabled"] != false {
+		t.Fatalf("connectors block before enable = %v", body["connectors"])
+	}
+
+	dir := t.TempDir()
+	feed := filepath.Join(dir, "feed.jsonl")
+	if err := os.WriteFile(feed, []byte(tailFeedLine("lima", 1, map[string]int{"storm": 2})), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ing := connectorIngester(s)
+	defer ing.Close()
+	sup := connector.NewSupervisor(connector.SupervisorConfig{Logf: func(string, ...any) {}})
+	src := connector.NewTailSource(connector.TailConfig{Path: feed, Poll: 2 * time.Millisecond}, fastSink(c, ing))
+	sup.Add(src)
+	srv.EnableConnectors(sup)
+	sup.Start(context.Background())
+	defer sup.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for src.Stats().Docs < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	_, body = get(t, srv, "/v1/stats")
+	block, ok = body["connectors"].(map[string]any)
+	if !ok || block["enabled"] != true {
+		t.Fatalf("connectors block = %v", body["connectors"])
+	}
+	sources, ok := block["sources"].([]any)
+	if !ok || len(sources) != 1 {
+		t.Fatalf("sources = %v, want one entry", block["sources"])
+	}
+	first := sources[0].(map[string]any)
+	if first["name"] != src.Name() || first["state"] != "running" {
+		t.Fatalf("source entry = %v", first)
+	}
+	if int(first["docs"].(float64)) != 1 {
+		t.Fatalf("source docs = %v, want 1", first["docs"])
+	}
+	if _, hasLag := first["lag_bytes"]; !hasLag {
+		t.Fatalf("tail source entry missing lag_bytes: %v", first)
+	}
+
+	// The per-connector gauge families are on /metrics with the source
+	// name as the label.
+	m := scrape(t, srv)
+	label := `{connector="` + src.Name() + `"}`
+	if got, ok := m["stserve_connector_docs_total"+label]; !ok || got != 1 {
+		t.Errorf("stserve_connector_docs_total = %v (present=%v), want 1", got, ok)
+	}
+	for _, name := range []string{
+		"stserve_connector_errors_total",
+		"stserve_connector_restarts_total",
+		"stserve_connector_lag_bytes",
+	} {
+		if _, ok := m[name+label]; !ok {
+			t.Errorf("/metrics missing %s%s", name, label)
+		}
+	}
+}

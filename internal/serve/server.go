@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"stburst"
+	"stburst/internal/connector"
 	"stburst/internal/geo"
 	"stburst/internal/search"
 	"stburst/internal/sub"
@@ -105,8 +106,13 @@ type Server struct {
 	dispatcher        *sub.Dispatcher
 	broker            *sub.Broker
 	alertsMatched     atomic.Int64
-	mux           *http.ServeMux
-	obs           *observer
+	// connectors is the streaming-source supervisor, nil until
+	// EnableConnectors points the stats/metrics surface at it (the
+	// -tail / -listen-ingest flags gate it). Lifecycle stays with the
+	// caller; the server only reads its stats.
+	connectors *connector.Supervisor
+	mux        *http.ServeMux
+	obs        *observer
 }
 
 // New wires the endpoint handlers. snapshotPath may be empty, in
@@ -300,6 +306,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		subsStats["sse_clients"] = b.Clients()
 	}
 	stats["subscriptions"] = subsStats
+	// Streaming connectors: enabled=false until -tail/-listen-ingest
+	// arm the subsystem; per-source counters mirror the
+	// stserve_connector_* gauge families.
+	stats["connectors"] = s.connectorStats()
 	// Durability: absent entirely (enabled=false) without a WAL, so
 	// dashboards can tell "no log configured" from "log at sequence 0".
 	if wst, ok := s.store.WALStats(); ok {

@@ -367,6 +367,12 @@ type IngestResult struct {
 	// DirtyTerms is the number of distinct terms whose pattern streams
 	// the batch changed — exactly the terms that were re-mined.
 	DirtyTerms int
+	// TotalDocs is the collection's document count immediately after
+	// this batch applied, read under the write lock — so with this
+	// batch as the last appended, the count is exact, not a racy
+	// after-the-fact read. Streaming connectors checkpoint it next to
+	// their byte offset to make crash-resume dedupe precise.
+	TotalDocs int
 }
 
 // ErrIngestIncomplete wraps errors from the back half of Ingest: the
@@ -478,7 +484,7 @@ func (s *Store) Ingest(ctx context.Context, docs []IncomingDocument) (IngestResu
 		if len(docs) > 0 {
 			gen = s.gen.Add(1)
 		}
-		return IngestResult{Generation: gen, Docs: len(docs)}, nil
+		return IngestResult{Generation: gen, Docs: len(docs), TotalDocs: s.c.NumDocs()}, nil
 	}
 	rememberStale := func() {
 		if s.staleDirty == nil {
@@ -496,11 +502,11 @@ func (s *Store) Ingest(ctx context.Context, docs []IncomingDocument) (IngestResu
 	if !refreshed {
 		// Nothing resident to refresh: the append alone is the mutation.
 		s.staleDirty = nil
-		return IngestResult{Generation: s.gen.Add(1), Docs: len(docs), DirtyTerms: len(dirty)}, nil
+		return IngestResult{Generation: s.gen.Add(1), Docs: len(docs), DirtyTerms: len(dirty), TotalDocs: s.c.NumDocs()}, nil
 	}
 	s.staleDirty = nil
 	alerts = s.matchDirtyLocked(dirty)
-	return IngestResult{Generation: s.Generation(), Docs: len(docs), DirtyTerms: len(dirty)}, nil
+	return IngestResult{Generation: s.Generation(), Docs: len(docs), DirtyTerms: len(dirty), TotalDocs: s.c.NumDocs()}, nil
 }
 
 // refreshLocked incrementally re-mines the dirty terms against the
